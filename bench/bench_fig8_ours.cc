@@ -1,0 +1,67 @@
+// Figure 8: processing time and memory of BDOne, BDTwo, LinearTime and
+// NearLinear, with the exact solver as the reference upper line.
+//
+// Expected shape: BDOne ~ LinearTime ~ NearLinear in time and memory;
+// BDTwo slower and ~3x the memory (6m adjacency-list representation);
+// VCSolver far above everything.
+#include "bench_util.h"
+#include "benchkit/run.h"
+#include "exact/vc_solver.h"
+#include "mis/bdone.h"
+#include "mis/bdtwo.h"
+#include "mis/linear_time.h"
+#include "mis/near_linear.h"
+
+using namespace rpmis;
+
+int main(int argc, char** argv) {
+  const bool fast = bench::HasFlag(argc, argv, "--fast");
+  bench::PrintHeader(
+      "Figure 8 - time & memory: our four algorithms (+ VCSolver reference)",
+      "BDOne ~ LinearTime ~ NearLinear in time/memory; BDTwo ~3x memory and "
+      "slower; VCSolver one or more orders of magnitude above.");
+
+  const std::vector<bench::NamedAlgorithm> algos = {
+      {"BDOne", [](const Graph& g) { return RunBDOne(g); }},
+      {"BDTwo", [](const Graph& g) { return RunBDTwo(g); }},
+      {"LinearTime", [](const Graph& g) { return RunLinearTime(g); }},
+      {"NearLinear", [](const Graph& g) { return RunNearLinear(g); }},
+  };
+
+  TablePrinter time_table(
+      {"Graph", "BDOne", "BDTwo", "LinearT", "NearLin", "VCSolver"});
+  TablePrinter mem_table(
+      {"Graph", "BDOne", "BDTwo", "LinearT", "NearLin", "VCSolver"});
+  for (const auto& spec : bench::MaybeSubsample(EasyDatasets(), fast, 3)) {
+    Graph g = spec.make();
+    std::vector<std::string> trow{spec.name}, mrow{spec.name};
+    for (const auto& algo : algos) {
+      ChildMeasurement m = MeasureInChild([&](uint64_t payload[4]) {
+        MisSolution sol = bench::RunChecked(algo, g);
+        payload[0] = sol.size;
+      });
+      trow.push_back(m.ok ? FormatSeconds(m.seconds) : "fail");
+      mrow.push_back(m.ok ? FormatKb(m.peak_rss_delta_kb) : "fail");
+    }
+    {
+      ChildMeasurement m = MeasureInChild([&](uint64_t payload[4]) {
+        VcSolverOptions opt;
+        opt.time_limit_seconds = fast ? 5.0 : 30.0;
+        VcSolverResult r = SolveExactMis(g, opt);
+        payload[0] = r.size;
+        payload[1] = r.proven_optimal ? 1 : 0;
+      });
+      std::string t = m.ok ? FormatSeconds(m.seconds) : "fail";
+      if (m.ok && m.payload[1] == 0) t += " (cap)";
+      trow.push_back(t);
+      mrow.push_back(m.ok ? FormatKb(m.peak_rss_delta_kb) : "fail");
+    }
+    time_table.AddRow(std::move(trow));
+    mem_table.AddRow(std::move(mrow));
+  }
+  std::cout << "-- (a) processing time --\n";
+  time_table.Print(std::cout);
+  std::cout << "\n-- (b) peak memory growth during the run --\n";
+  mem_table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Micro benchmarks (google-benchmark) for the library's substrates and
+// algorithms, including the Table 1 complexity evidence: BDTwo's folding
+// is super-linear on the Theorem 3.1 family while LinearTime stays linear.
+#include <benchmark/benchmark.h>
+
+#include "baselines/du.h"
+#include "baselines/greedy.h"
+#include "ds/bucket_queue.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "mis/bdone.h"
+#include "mis/bdtwo.h"
+#include "mis/linear_time.h"
+#include "mis/lp_reduction.h"
+#include "mis/near_linear.h"
+
+namespace rpmis {
+namespace {
+
+Graph& PowerLawFixture() {
+  static Graph g = ChungLuPowerLaw(50000, 2.1, 5.0, /*seed=*/1);
+  return g;
+}
+
+void BM_BucketQueueChurn(benchmark::State& state) {
+  const Vertex n = 10000;
+  std::vector<uint32_t> keys(n);
+  for (Vertex v = 0; v < n; ++v) keys[v] = v % 512;
+  for (auto _ : state) {
+    BucketQueue q = BucketQueue::FromKeys(keys, 512);
+    while (!q.Empty()) benchmark::DoNotOptimize(q.PopMin());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BucketQueueChurn);
+
+void BM_LazyMaxQueueDrain(benchmark::State& state) {
+  const Vertex n = 10000;
+  std::vector<uint32_t> keys(n);
+  for (Vertex v = 0; v < n; ++v) keys[v] = v % 512;
+  for (auto _ : state) {
+    LazyMaxBucketQueue q(keys);
+    Vertex v;
+    auto key = [&](Vertex x) { return keys[x]; };
+    auto alive = [](Vertex) { return true; };
+    while ((v = q.PopMax(key, alive)) != kInvalidVertex) {
+      benchmark::DoNotOptimize(v);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LazyMaxQueueDrain);
+
+void BM_TriangleCounts(benchmark::State& state) {
+  const Graph& g = PowerLawFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EdgeTriangleCounts(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_TriangleCounts);
+
+void BM_LpReduction(benchmark::State& state) {
+  const Graph& g = PowerLawFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveLpReduction(g));
+  }
+}
+BENCHMARK(BM_LpReduction);
+
+void BM_Greedy(benchmark::State& state) {
+  const Graph& g = PowerLawFixture();
+  for (auto _ : state) benchmark::DoNotOptimize(RunGreedy(g));
+}
+BENCHMARK(BM_Greedy);
+
+void BM_DU(benchmark::State& state) {
+  const Graph& g = PowerLawFixture();
+  for (auto _ : state) benchmark::DoNotOptimize(RunDU(g));
+}
+BENCHMARK(BM_DU);
+
+void BM_BDOne(benchmark::State& state) {
+  const Graph& g = PowerLawFixture();
+  for (auto _ : state) benchmark::DoNotOptimize(RunBDOne(g));
+}
+BENCHMARK(BM_BDOne);
+
+void BM_LinearTime(benchmark::State& state) {
+  const Graph& g = PowerLawFixture();
+  for (auto _ : state) benchmark::DoNotOptimize(RunLinearTime(g));
+}
+BENCHMARK(BM_LinearTime);
+
+void BM_NearLinear(benchmark::State& state) {
+  const Graph& g = PowerLawFixture();
+  for (auto _ : state) benchmark::DoNotOptimize(RunNearLinear(g));
+}
+BENCHMARK(BM_NearLinear);
+
+// Theorem 3.1 family: BDTwo must grow super-linearly in k, LinearTime
+// linearly. Compare the per-edge cost across the range.
+void BM_Theorem31_BDTwo(benchmark::State& state) {
+  Graph g = Theorem31Gadget(static_cast<Vertex>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(RunBDTwo(g));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Theorem31_BDTwo)->RangeMultiplier(4)->Range(1 << 10, 1 << 16)
+    ->Complexity();
+
+void BM_Theorem31_LinearTime(benchmark::State& state) {
+  Graph g = Theorem31Gadget(static_cast<Vertex>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(RunLinearTime(g));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Theorem31_LinearTime)->RangeMultiplier(4)->Range(1 << 10, 1 << 16)
+    ->Complexity();
+
+}  // namespace
+}  // namespace rpmis
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Shared plumbing for the experiment harness binaries.
+//
+// Every bench accepts `--fast` (subsample instances, shrink budgets) so
+// the full suite can be smoke-tested quickly; default runs reproduce the
+// EXPERIMENTS.md numbers.
+#ifndef RPMIS_BENCH_BENCH_UTIL_H_
+#define RPMIS_BENCH_BENCH_UTIL_H_
+
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "benchkit/datasets.h"
+#include "benchkit/table.h"
+#include "graph/graph.h"
+#include "mis/solution.h"
+#include "mis/verify.h"
+#include "support/assert.h"
+#include "support/timer.h"
+
+namespace rpmis::bench {
+
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// Keeps the first `keep` specs in fast mode.
+inline std::vector<DatasetSpec> MaybeSubsample(std::vector<DatasetSpec> specs,
+                                               bool fast, size_t keep) {
+  if (fast && specs.size() > keep) specs.resize(keep);
+  return specs;
+}
+
+struct NamedAlgorithm {
+  std::string name;
+  std::function<MisSolution(const Graph&)> run;
+};
+
+/// Runs `algo` on g, validates the result, and returns it; aborts on an
+/// invalid solution so a broken heuristic can never "win" a table.
+inline MisSolution RunChecked(const NamedAlgorithm& algo, const Graph& g) {
+  MisSolution sol = algo.run(g);
+  RPMIS_ASSERT_MSG(IsMaximalIndependentSet(g, sol.in_set),
+                   "bench algorithm produced an invalid solution");
+  return sol;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& claim) {
+  std::cout << "\n=== " << title << " ===\n";
+  if (!claim.empty()) std::cout << "Paper claim: " << claim << "\n";
+  std::cout << std::endl;
+}
+
+}  // namespace rpmis::bench
+
+#endif  // RPMIS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,62 @@
+// Collusion detection in voting pools (paper §1, application [3]).
+//
+// Voters score items; a pair of voters whose scores agree suspiciously
+// often is joined by a "possible collusion" edge. A maximum independent
+// set of the conflict graph is the largest set of voters that is pairwise
+// collusion-free — the trustworthy quorum. This example synthesizes a
+// pool with planted colluding rings, builds the conflict graph, and
+// extracts the quorum with LinearTime; the planted colluders should be
+// (almost) entirely excluded.
+#include <iostream>
+
+#include "graph/graph.h"
+#include "mis/linear_time.h"
+#include "support/random.h"
+
+using namespace rpmis;
+
+int main() {
+  Rng rng(2024);
+  const Vertex honest = 3000;
+  const Vertex ring_count = 30;
+  const Vertex ring_size = 8;
+  const Vertex n = honest + ring_count * ring_size;
+
+  // Conflict edges: honest voters rarely coincide (background noise);
+  // members of the same colluding ring almost always do.
+  GraphBuilder builder(n);
+  // Background noise: ~1 accidental agreement per voter.
+  for (Vertex e = 0; e < n; ++e) {
+    const Vertex a = static_cast<Vertex>(rng.NextBounded(n));
+    const Vertex b = static_cast<Vertex>(rng.NextBounded(n));
+    if (a != b) builder.AddEdge(a, b);
+  }
+  // Rings: dense agreement among members (90% of pairs flagged).
+  std::vector<uint8_t> colluder(n, 0);
+  for (Vertex r = 0; r < ring_count; ++r) {
+    const Vertex base = honest + r * ring_size;
+    for (Vertex i = 0; i < ring_size; ++i) {
+      colluder[base + i] = 1;
+      for (Vertex j = i + 1; j < ring_size; ++j) {
+        if (rng.NextBool(0.9)) builder.AddEdge(base + i, base + j);
+      }
+    }
+  }
+  Graph conflict = builder.Build();
+  std::cout << "voters: " << n << " (" << ring_count * ring_size
+            << " planted colluders), conflict edges: " << conflict.NumEdges()
+            << "\n";
+
+  MisSolution quorum = RunLinearTime(conflict);
+  uint64_t colluders_admitted = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    if (quorum.in_set[v] && colluder[v]) ++colluders_admitted;
+  }
+  std::cout << "collusion-free quorum: " << quorum.size << " voters\n";
+  std::cout << "planted colluders admitted: " << colluders_admitted
+            << " of " << ring_count * ring_size
+            << " (rings are near-cliques, so only one or two members per "
+               "ring can ever slip into an independent set)\n";
+  std::cout << "upper bound on any quorum: " << quorum.UpperBound() << "\n";
+  return 0;
+}

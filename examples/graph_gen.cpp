@@ -1,0 +1,95 @@
+// graph_gen: generate the library's synthetic graphs to files, so the
+// datasets behind EXPERIMENTS.md can be inspected or fed to other tools.
+//
+// Usage:
+//   graph_gen suite <output-dir> [--format=edgelist|dimacs|metis|binary]
+//       writes all 20 benchmark datasets (Table 2 suite)
+//   graph_gen powerlaw <n> <beta> <avg-degree> <seed> <file>
+//   graph_gen gnm <n> <m> <seed> <file>
+//   graph_gen rmat <scale> <m> <seed> <file>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "benchkit/datasets.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+
+using namespace rpmis;
+
+namespace {
+
+void WriteAs(const Graph& g, const std::string& path, const std::string& fmt) {
+  std::ofstream out(path, fmt == "binary" ? std::ios::binary : std::ios::out);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    std::exit(1);
+  }
+  if (fmt == "edgelist") {
+    WriteEdgeList(g, out);
+  } else if (fmt == "dimacs") {
+    WriteDimacs(g, out);
+  } else if (fmt == "metis") {
+    WriteMetis(g, out);
+  } else if (fmt == "binary") {
+    WriteBinary(g, out);
+  } else {
+    std::cerr << "unknown format " << fmt << "\n";
+    std::exit(2);
+  }
+  std::cerr << "wrote " << path << " (n=" << g.NumVertices()
+            << ", m=" << g.NumEdges() << ")\n";
+}
+
+std::string Extension(const std::string& fmt) {
+  if (fmt == "dimacs") return ".dimacs";
+  if (fmt == "metis") return ".metis";
+  if (fmt == "binary") return ".rpmi";
+  return ".txt";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::cerr << "usage: graph_gen suite <dir> [--format=...] |\n"
+                 "       graph_gen powerlaw <n> <beta> <avg> <seed> <file> |\n"
+                 "       graph_gen gnm <n> <m> <seed> <file> |\n"
+                 "       graph_gen rmat <scale> <m> <seed> <file>\n";
+    return 2;
+  }
+  const std::string mode = argv[1];
+  std::string fmt = "edgelist";
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--format=", 0) == 0) fmt = a.substr(9);
+  }
+
+  if (mode == "suite") {
+    const std::string dir = argv[2];
+    for (const auto& spec : AllDatasets()) {
+      WriteAs(spec.make(), dir + "/" + spec.name + Extension(fmt), fmt);
+    }
+    return 0;
+  }
+  if (mode == "powerlaw" && argc >= 7) {
+    WriteAs(ChungLuPowerLaw(std::stoul(argv[2]), std::stod(argv[3]),
+                            std::stod(argv[4]), std::stoull(argv[5])),
+            argv[6], fmt);
+    return 0;
+  }
+  if (mode == "gnm" && argc >= 6) {
+    WriteAs(ErdosRenyiGnm(std::stoul(argv[2]), std::stoull(argv[3]),
+                          std::stoull(argv[4])),
+            argv[5], fmt);
+    return 0;
+  }
+  if (mode == "rmat" && argc >= 6) {
+    WriteAs(RMat(std::stoul(argv[2]), std::stoull(argv[3]), 0.57, 0.19, 0.19,
+                 std::stoull(argv[4])),
+            argv[5], fmt);
+    return 0;
+  }
+  std::cerr << "bad arguments\n";
+  return 2;
+}

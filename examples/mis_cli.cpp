@@ -1,0 +1,162 @@
+// rpmis command-line tool: compute an independent set (or vertex cover)
+// of a graph file with any algorithm in the library.
+//
+// Usage:
+//   mis_cli <file> [--format=edgelist|dimacs|metis]
+//           [--algo=greedy|du|semie|bdone|bdtwo|lineartime|nearlinear|
+//                   arw-lt|arw-nl|exact]
+//           [--time=SECONDS] [--cover] [--out=solution.txt]
+//
+// The solution file lists one selected vertex id per line (original file
+// ids are not preserved for edge lists with sparse ids; the tool reports
+// the dense remapping convention).
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "baselines/du.h"
+#include "baselines/greedy.h"
+#include "baselines/semi_external.h"
+#include "exact/vc_solver.h"
+#include "graph/io.h"
+#include "localsearch/boosted.h"
+#include "mis/bdone.h"
+#include "mis/bdtwo.h"
+#include "mis/linear_time.h"
+#include "mis/near_linear.h"
+#include "mis/verify.h"
+#include "support/timer.h"
+
+using namespace rpmis;
+
+namespace {
+
+std::string OptionValue(int argc, char** argv, const std::string& key,
+                        const std::string& fallback) {
+  const std::string prefix = key + "=";
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+bool HasOption(int argc, char** argv, const char* flag) {
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+int Usage() {
+  std::cerr
+      << "usage: mis_cli <file> [--format=edgelist|dimacs|metis]\n"
+         "               [--algo=greedy|du|semie|bdone|bdtwo|lineartime|\n"
+         "                       nearlinear|arw-lt|arw-nl|exact]\n"
+         "               [--time=SECONDS] [--cover] [--out=FILE]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string path = argv[1];
+  const std::string format = OptionValue(argc, argv, "--format", "edgelist");
+  const std::string algo = OptionValue(argc, argv, "--algo", "nearlinear");
+  const double budget = std::stod(OptionValue(argc, argv, "--time", "5"));
+  const std::string out_path = OptionValue(argc, argv, "--out", "");
+  const bool want_cover = HasOption(argc, argv, "--cover");
+
+  Graph g;
+  try {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "cannot open " << path << "\n";
+      return 1;
+    }
+    if (format == "edgelist") {
+      g = ReadEdgeList(in);
+    } else if (format == "dimacs") {
+      g = ReadDimacs(in);
+    } else if (format == "metis") {
+      g = ReadMetis(in);
+    } else {
+      return Usage();
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "parse error: " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "loaded: n = " << g.NumVertices() << ", m = " << g.NumEdges()
+            << "\n";
+
+  Timer timer;
+  std::vector<uint8_t> in_set;
+  std::string certificate;
+  if (algo == "greedy") {
+    in_set = RunGreedy(g).in_set;
+  } else if (algo == "du") {
+    in_set = RunDU(g).in_set;
+  } else if (algo == "semie") {
+    in_set = RunSemiE(g).in_set;
+  } else if (algo == "bdone") {
+    in_set = RunBDOne(g).in_set;
+  } else if (algo == "bdtwo") {
+    in_set = RunBDTwo(g).in_set;
+  } else if (algo == "lineartime") {
+    in_set = RunLinearTime(g).in_set;
+  } else if (algo == "nearlinear") {
+    MisSolution sol = RunNearLinear(g);
+    if (sol.provably_maximum) certificate = "certified maximum (Theorem 6.1)";
+    in_set = std::move(sol.in_set);
+  } else if (algo == "arw-lt" || algo == "arw-nl") {
+    BoostedOptions opt;
+    opt.time_limit_seconds = budget;
+    BoostedResult r = RunBoostedArw(
+        g, algo == "arw-lt" ? BoostKind::kLinearTime : BoostKind::kNearLinear,
+        opt);
+    in_set = std::move(r.in_set);
+  } else if (algo == "exact") {
+    VcSolverOptions opt;
+    opt.time_limit_seconds = budget;
+    VcSolverResult r = SolveExactMis(g, opt);
+    certificate = r.proven_optimal ? "proven optimal" : "time limit hit";
+    in_set = std::move(r.in_set);
+  } else {
+    return Usage();
+  }
+  const double seconds = timer.Seconds();
+
+  if (!IsMaximalIndependentSet(g, in_set)) {
+    std::cerr << "internal error: invalid solution\n";
+    return 1;
+  }
+  uint64_t size = 0;
+  for (uint8_t f : in_set) size += f;
+  if (want_cover) {
+    in_set = Complement(in_set);
+    size = g.NumVertices() - size;
+  }
+  std::cerr << algo << (want_cover ? " vertex cover" : " independent set")
+            << ": " << size << " vertices in " << seconds << "s";
+  if (!certificate.empty()) std::cerr << " [" << certificate << "]";
+  std::cerr << "\n";
+
+  std::ostream* out = &std::cout;
+  std::ofstream file;
+  if (!out_path.empty()) {
+    file.open(out_path);
+    if (!file) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    out = &file;
+  }
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    if (in_set[v]) *out << v << "\n";
+  }
+  return 0;
+}

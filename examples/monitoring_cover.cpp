@@ -1,0 +1,46 @@
+// Network monitoring via minimum vertex cover (paper §2 duality).
+//
+// To observe every link of a network, monitors must be placed so that
+// each edge has a monitored endpoint — a vertex cover. Since
+// C is a minimum vertex cover iff V \ C is a maximum independent set, a
+// near-maximum IS from Reducing-Peeling yields a near-minimum monitor
+// placement for free. This example compares the monitor counts obtained
+// through the different algorithms on a router-topology-shaped graph.
+#include <iostream>
+
+#include "baselines/du.h"
+#include "baselines/greedy.h"
+#include "graph/generators.h"
+#include "mis/bdone.h"
+#include "mis/near_linear.h"
+#include "mis/verify.h"
+
+using namespace rpmis;
+
+int main() {
+  // Router topologies look like preferential-attachment graphs.
+  Graph g = BarabasiAlbert(/*n=*/50000, /*edges_per_vertex=*/2, /*seed=*/99);
+  std::cout << "network: n = " << g.NumVertices() << ", links = "
+            << g.NumEdges() << "\n\n";
+
+  struct Entry {
+    const char* name;
+    MisSolution sol;
+  };
+  Entry entries[] = {
+      {"Greedy", RunGreedy(g)},
+      {"DU", RunDU(g)},
+      {"BDOne", RunBDOne(g)},
+      {"NearLinear", RunNearLinear(g)},
+  };
+  for (const Entry& e : entries) {
+    const std::vector<uint8_t> cover = Complement(e.sol.in_set);
+    uint64_t monitors = 0;
+    for (uint8_t f : cover) monitors += f;
+    std::cout << e.name << ": " << monitors << " monitors (valid cover: "
+              << std::boolalpha << IsVertexCover(g, cover) << ")\n";
+  }
+  std::cout << "\nEvery link is observed in all four placements; the "
+               "Reducing-Peeling ones simply need fewer monitors.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Social network coverage (paper §1, application [32]): pick a set of
+// accounts such that no two are friends (so the message reaches disjoint
+// audiences) while covering as much of the network as possible within one
+// hop. A MAXIMAL independent set covers every vertex within one hop by
+// definition; a near-MAXIMUM one maximizes the number of chosen seeds.
+//
+// This example compares the greedy baseline against NearLinear on a
+// synthetic social network and reports one-hop coverage.
+#include <iostream>
+
+#include "baselines/greedy.h"
+#include "graph/generators.h"
+#include "mis/near_linear.h"
+#include "mis/verify.h"
+
+using namespace rpmis;
+
+namespace {
+
+// Every vertex is covered (seed or neighbour of a seed) for a maximal IS;
+// this recomputes it as a sanity check and counts multiply-covered ones.
+void ReportCoverage(const Graph& g, const std::vector<uint8_t>& seeds,
+                    const char* name) {
+  uint64_t chosen = 0, covered = 0, overlap = 0;
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    if (seeds[v]) ++chosen;
+    uint32_t hits = seeds[v] ? 1 : 0;
+    for (Vertex w : g.Neighbors(v)) hits += seeds[w];
+    if (hits > 0) ++covered;
+    if (hits > 1) ++overlap;
+  }
+  std::cout << name << ": seeds = " << chosen << ", one-hop coverage = "
+            << covered << "/" << g.NumVertices()
+            << ", redundantly covered = " << overlap << "\n";
+}
+
+}  // namespace
+
+int main() {
+  // A social-network-shaped graph: power-law degrees, average degree ~8.
+  Graph g = ChungLuPowerLaw(/*n=*/200000, /*beta=*/2.2, /*avg_degree=*/8.0,
+                            /*seed=*/7);
+  std::cout << "social network: n = " << g.NumVertices()
+            << ", m = " << g.NumEdges() << "\n\n";
+
+  MisSolution greedy = RunGreedy(g);
+  ReportCoverage(g, greedy.in_set, "Greedy    ");
+
+  MisSolution nl = RunNearLinear(g);
+  ReportCoverage(g, nl.in_set, "NearLinear");
+
+  std::cout << "\nNearLinear reaches " << nl.size - greedy.size
+            << " more mutually-unconnected seeds"
+            << (nl.provably_maximum ? " and certifies the count is optimal."
+                                    : ".")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include "baselines/du.h"
+
+#include "ds/bucket_queue.h"
+
+namespace rpmis {
+
+MisSolution RunDU(const Graph& g) {
+  const Vertex n = g.NumVertices();
+  MisSolution sol;
+  sol.in_set.assign(n, 0);
+
+  std::vector<uint32_t> deg(n);
+  for (Vertex v = 0; v < n; ++v) deg[v] = g.Degree(v);
+  std::vector<uint8_t> alive(n, 1);
+  BucketQueue queue = BucketQueue::FromKeys(deg, g.MaxDegree());
+
+  while (!queue.Empty()) {
+    const Vertex v = queue.PopMin();
+    // Take v; remove N[v]; two-hop degrees drop.
+    sol.in_set[v] = 1;
+    alive[v] = 0;
+    for (Vertex w : g.Neighbors(v)) {
+      if (!alive[w]) continue;
+      alive[w] = 0;
+      queue.Remove(w);
+      for (Vertex x : g.Neighbors(w)) {
+        if (alive[x] && queue.Contains(x)) {
+          queue.Update(x, queue.KeyOf(x) - 1);
+        }
+      }
+    }
+  }
+  sol.RecountSize();
+  sol.provably_maximum = false;
+  return sol;
+}
+
+}  // namespace rpmis

@@ -1,0 +1,22 @@
+// DU [30]: dynamic-updating min-degree greedy.
+//
+// Like Greedy, but the minimum-degree vertex is selected adaptively in the
+// REMAINING graph: taking a vertex removes its closed neighbourhood and
+// updates the degrees of the two-hop neighbourhood. O(n + m) with the
+// bucket structure. This is also the paper's "alternative inexact
+// reduction" strawman (§3.1): its worklist-free form decides low-degree
+// vertices greedily instead of peeling high-degree ones.
+#ifndef RPMIS_BASELINES_DU_H_
+#define RPMIS_BASELINES_DU_H_
+
+#include "graph/graph.h"
+#include "mis/solution.h"
+
+namespace rpmis {
+
+/// Computes a maximal independent set with dynamic min-degree updating.
+MisSolution RunDU(const Graph& g);
+
+}  // namespace rpmis
+
+#endif  // RPMIS_BASELINES_DU_H_

@@ -1,0 +1,32 @@
+#include "baselines/greedy.h"
+
+#include <numeric>
+
+namespace rpmis {
+
+MisSolution RunGreedy(const Graph& g) {
+  const Vertex n = g.NumVertices();
+  MisSolution sol;
+  sol.in_set.assign(n, 0);
+
+  // Counting sort by static degree.
+  const uint32_t max_deg = g.MaxDegree();
+  std::vector<uint32_t> bucket(static_cast<size_t>(max_deg) + 2, 0);
+  for (Vertex v = 0; v < n; ++v) ++bucket[g.Degree(v) + 1];
+  for (size_t i = 1; i < bucket.size(); ++i) bucket[i] += bucket[i - 1];
+  std::vector<Vertex> order(n);
+  for (Vertex v = 0; v < n; ++v) order[bucket[g.Degree(v)]++] = v;
+
+  std::vector<uint8_t> removed(n, 0);
+  for (Vertex v : order) {
+    if (removed[v]) continue;
+    sol.in_set[v] = 1;
+    for (Vertex w : g.Neighbors(v)) removed[w] = 1;
+  }
+  sol.RecountSize();
+  // Greedy never certifies anything: every vertex was decided greedily.
+  sol.provably_maximum = false;
+  return sol;
+}
+
+}  // namespace rpmis

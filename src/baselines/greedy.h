@@ -1,0 +1,19 @@
+// Greedy [30]: the classic static min-degree heuristic.
+//
+// Vertices are visited in increasing order of their degree IN THE INPUT
+// GRAPH ("considers vertex degrees in a static way", §1); each unremoved
+// vertex joins the independent set and knocks out its neighbours. O(n + m).
+#ifndef RPMIS_BASELINES_GREEDY_H_
+#define RPMIS_BASELINES_GREEDY_H_
+
+#include "graph/graph.h"
+#include "mis/solution.h"
+
+namespace rpmis {
+
+/// Computes a maximal independent set with the static greedy heuristic.
+MisSolution RunGreedy(const Graph& g);
+
+}  // namespace rpmis
+
+#endif  // RPMIS_BASELINES_GREEDY_H_

@@ -1,0 +1,122 @@
+#include "baselines/semi_external.h"
+
+#include "baselines/greedy.h"
+#include "support/fast_set.h"
+
+namespace rpmis {
+
+namespace {
+
+// Greedily selects a pairwise non-adjacent subset of `candidates`;
+// `picked_mark` is a scratch set cleared by the caller.
+std::vector<Vertex> GreedyIndependentSubset(const Graph& g,
+                                            const std::vector<Vertex>& candidates,
+                                            FastSet& picked_mark) {
+  std::vector<Vertex> picked;
+  for (Vertex c : candidates) {
+    bool blocked = false;
+    for (Vertex w : g.Neighbors(c)) {
+      if (picked_mark.Contains(w)) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) {
+      picked.push_back(c);
+      picked_mark.Insert(c);
+    }
+  }
+  return picked;
+}
+
+}  // namespace
+
+MisSolution RunSemiE(const Graph& g, const SemiEOptions& options) {
+  const Vertex n = g.NumVertices();
+  MisSolution sol = RunGreedy(g);
+
+  // tight[v] = number of solution neighbours of v (meaningful for v not
+  // in the solution).
+  std::vector<uint32_t> tight(n, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    if (!sol.in_set[v]) continue;
+    for (Vertex w : g.Neighbors(v)) ++tight[w];
+  }
+
+  auto remove_from_solution = [&](Vertex u) {
+    sol.in_set[u] = 0;
+    for (Vertex w : g.Neighbors(u)) --tight[w];
+  };
+  auto add_to_solution = [&](Vertex u) {
+    sol.in_set[u] = 1;
+    for (Vertex w : g.Neighbors(u)) ++tight[w];
+  };
+
+  FastSet picked_mark(n);
+  std::vector<Vertex> candidates;
+
+  for (uint32_t round = 0; round < options.max_rounds; ++round) {
+    bool improved = false;
+
+    // one-k swaps: u out, its exclusively-1-tight neighbours in.
+    for (Vertex u = 0; u < n; ++u) {
+      if (!sol.in_set[u]) continue;
+      candidates.clear();
+      for (Vertex w : g.Neighbors(u)) {
+        if (!sol.in_set[w] && tight[w] == 1) candidates.push_back(w);
+      }
+      if (candidates.size() < 2) continue;
+      picked_mark.Clear();
+      const std::vector<Vertex> picked =
+          GreedyIndependentSubset(g, candidates, picked_mark);
+      if (picked.size() < 2) continue;
+      remove_from_solution(u);
+      for (Vertex w : picked) add_to_solution(w);
+      improved = true;
+    }
+
+    // two-k swaps: a 2-tight pivot exposes the pair {u1, u2}.
+    if (options.two_k_swaps) {
+      for (Vertex pivot = 0; pivot < n; ++pivot) {
+        if (sol.in_set[pivot] || tight[pivot] != 2) continue;
+        Vertex u1 = kInvalidVertex, u2 = kInvalidVertex;
+        for (Vertex w : g.Neighbors(pivot)) {
+          if (!sol.in_set[w]) continue;
+          (u1 == kInvalidVertex ? u1 : u2) = w;
+        }
+        RPMIS_DASSERT(u1 != kInvalidVertex && u2 != kInvalidVertex);
+        // Candidates: non-solution vertices around u1/u2 whose solution
+        // neighbours are confined to {u1, u2}.
+        candidates.clear();
+        picked_mark.Clear();
+        auto consider = [&](Vertex w) {
+          if (sol.in_set[w] || tight[w] > 2 || picked_mark.Contains(w)) return;
+          for (Vertex x : g.Neighbors(w)) {
+            if (sol.in_set[x] && x != u1 && x != u2) return;
+          }
+          picked_mark.Insert(w);  // dedup across the two neighbourhoods
+          candidates.push_back(w);
+        };
+        for (Vertex w : g.Neighbors(u1)) consider(w);
+        for (Vertex w : g.Neighbors(u2)) consider(w);
+        if (candidates.size() < 3) continue;
+        picked_mark.Clear();
+        const std::vector<Vertex> picked =
+            GreedyIndependentSubset(g, candidates, picked_mark);
+        if (picked.size() < 3) continue;
+        remove_from_solution(u1);
+        remove_from_solution(u2);
+        for (Vertex w : picked) add_to_solution(w);
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+
+  ExtendToMaximal(g, sol.in_set);
+  sol.RecountSize();
+  sol.provably_maximum = false;
+  return sol;
+}
+
+}  // namespace rpmis

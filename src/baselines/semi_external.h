@@ -1,0 +1,30 @@
+// SemiE: the semi-external MIS algorithm of Liu et al. [30], in-memory.
+//
+// The paper evaluates SemiE "with two-k swap; we store the entire graph in
+// main memory to avoid I/Os" (§7), which is exactly this variant: a Greedy
+// initial solution iteratively improved by
+//   one-k swaps: drop one solution vertex u, insert k >= 2 non-solution
+//                vertices whose only solution neighbour was u;
+//   two-k swaps: drop two solution vertices {u1, u2} that share a 2-tight
+//                neighbour, insert k >= 3 vertices whose solution
+//                neighbours are within {u1, u2}.
+// Swaps repeat round-robin until a fixpoint or the round cap.
+#ifndef RPMIS_BASELINES_SEMI_EXTERNAL_H_
+#define RPMIS_BASELINES_SEMI_EXTERNAL_H_
+
+#include "graph/graph.h"
+#include "mis/solution.h"
+
+namespace rpmis {
+
+struct SemiEOptions {
+  uint32_t max_rounds = 5;   // swap sweeps over the vertex set
+  bool two_k_swaps = true;   // the paper's "two-k swap" configuration
+};
+
+/// Computes a maximal independent set with the SemiE swap heuristic.
+MisSolution RunSemiE(const Graph& g, const SemiEOptions& options = {});
+
+}  // namespace rpmis
+
+#endif  // RPMIS_BASELINES_SEMI_EXTERNAL_H_

@@ -1,0 +1,89 @@
+#include "benchkit/datasets.h"
+
+#include "graph/generators.h"
+#include "support/assert.h"
+
+namespace rpmis {
+
+namespace {
+
+// Shorthand builders. Seeds are fixed so every bench run sees identical
+// graphs.
+std::function<Graph()> Cl(Vertex n, double beta, double avg, uint64_t seed) {
+  return [=] { return ChungLuPowerLaw(n, beta, avg, seed); };
+}
+[[maybe_unused]] std::function<Graph()> Rm(uint32_t scale, uint64_t m, uint64_t seed) {
+  return [=] { return RMat(scale, m, 0.57, 0.19, 0.19, seed); };
+}
+// Variants with a planted clustered core (the structure that keeps real
+// web/social graphs from kernelizing to nothing; DESIGN.md §4). Easy
+// instances get tiny cores the exact solver still cracks; hard instances
+// get cores of tens of thousands of vertices.
+std::function<Graph()> ClCore(Vertex n, double beta, double avg, Vertex core,
+                              uint64_t seed) {
+  return [=] { return PowerLawWithCore(n, beta, avg, core, 6.0, seed); };
+}
+std::function<Graph()> RmCore(uint32_t scale, uint64_t m, Vertex core,
+                              uint64_t seed) {
+  return [=] { return RMatWithCore(scale, m, core, 6.0, seed); };
+}
+
+std::vector<DatasetSpec> MakeAll() {
+  std::vector<DatasetSpec> d;
+  // ---- easy instances (the 12 rows of Table 3) -------------------------
+  d.push_back({"GrQc", false, 5242, 14484, Cl(5242, 2.3, 5.5, 101)});
+  d.push_back({"CondMat", false, 23133, 93439, Cl(23133, 2.3, 8.1, 102)});
+  d.push_back({"AstroPh", false, 18772, 198050, Cl(18772, 2.0, 21.1, 103)});
+  d.push_back({"Email", false, 265214, 364481, Cl(120000, 1.9, 2.8, 104)});
+  d.push_back({"Epinions", false, 75879, 405740, Cl(75879, 2.0, 10.7, 105)});
+  d.push_back({"dblp", false, 933258, 3353618, Cl(150000, 2.3, 7.2, 106)});
+  d.push_back({"wiki-Talk", false, 2394385, 4659565, Cl(200000, 1.9, 3.9, 107)});
+  d.push_back({"BerkStan", false, 685230, 6649470, RmCore(16, 640000, 260, 108)});
+  d.push_back({"as-Skitter", false, 1696415, 11095398, ClCore(120000, 2.1, 13.1, 220, 109)});
+  d.push_back({"in-2004", false, 1382870, 13591473, RmCore(16, 650000, 180, 110)});
+  d.push_back({"LiveJ", false, 4847571, 42851237, ClCore(150000, 2.2, 17.7, 150, 111)});
+  d.push_back({"hollywood", false, 1985306, 114492816, Cl(60000, 1.9, 40.0, 112)});
+  // ---- hard instances (the 8 rows of Table 4) --------------------------
+  d.push_back({"cnr-2000", true, 325557, 2738969, RmCore(17, 1100000, 15000, 201)});
+  d.push_back({"eu-2005", true, 862664, 16138468, RmCore(17, 2400000, 20000, 202)});
+  d.push_back({"soc-pokec", true, 1632803, 22301964, ClCore(200000, 2.0, 27.3, 30000, 203)});
+  d.push_back({"indochina", true, 7414768, 150984819, RmCore(18, 5300000, 30000, 204)});
+  d.push_back({"uk-2002", true, 18484117, 261787258, RmCore(18, 3700000, 35000, 205)});
+  d.push_back({"uk-2005", true, 39454746, 783027125, RmCore(18, 5200000, 40000, 206)});
+  d.push_back({"webbase", true, 115657290, 854809761, RmCore(19, 3900000, 45000, 207)});
+  d.push_back({"it-2004", true, 41290682, 1027474947, RmCore(18, 6500000, 50000, 208)});
+  return d;
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& AllDatasets() {
+  static const std::vector<DatasetSpec> kAll = MakeAll();
+  return kAll;
+}
+
+std::vector<DatasetSpec> EasyDatasets() {
+  std::vector<DatasetSpec> out;
+  for (const auto& d : AllDatasets()) {
+    if (!d.hard) out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<DatasetSpec> HardDatasets() {
+  std::vector<DatasetSpec> out;
+  for (const auto& d : AllDatasets()) {
+    if (d.hard) out.push_back(d);
+  }
+  return out;
+}
+
+const DatasetSpec& DatasetByName(const std::string& name) {
+  for (const auto& d : AllDatasets()) {
+    if (d.name == name) return d;
+  }
+  RPMIS_ASSERT_MSG(false, "unknown dataset");
+  __builtin_unreachable();
+}
+
+}  // namespace rpmis

@@ -1,0 +1,40 @@
+// The benchmark dataset suite: deterministic synthetic stand-ins for the
+// 20 real graphs of Table 2 (see DESIGN.md §4 for the substitution
+// rationale). Each dataset keeps the original's NAME, its easy/hard
+// classification (§7.1), and a generator matched to its family:
+// Chung–Lu power-law for social/collaboration networks, R-MAT for web
+// crawls. Scales are reduced so the whole harness runs in minutes.
+#ifndef RPMIS_BENCHKIT_DATASETS_H_
+#define RPMIS_BENCHKIT_DATASETS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rpmis {
+
+struct DatasetSpec {
+  std::string name;      // the paper's graph name
+  bool hard;             // hard instance (Table 4, Figures 10/15)
+  Vertex paper_n;        // the real graph's size, for reference columns
+  uint64_t paper_m;
+  std::function<Graph()> make;  // deterministic generator
+};
+
+/// All 20 datasets in the paper's Table 2 order.
+const std::vector<DatasetSpec>& AllDatasets();
+
+/// The 12 easy instances (VCSolver-feasible) in order.
+std::vector<DatasetSpec> EasyDatasets();
+
+/// The 8 hard instances in order.
+std::vector<DatasetSpec> HardDatasets();
+
+/// Lookup by name; aborts on unknown names.
+const DatasetSpec& DatasetByName(const std::string& name);
+
+}  // namespace rpmis
+
+#endif  // RPMIS_BENCHKIT_DATASETS_H_

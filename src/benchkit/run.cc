@@ -1,0 +1,87 @@
+#include "benchkit/run.h"
+
+#include <malloc.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "support/timer.h"
+
+namespace rpmis {
+
+namespace {
+
+uint64_t ReadStatusKb(const char* key) {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  uint64_t value = 0;
+  const size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0) {
+      std::sscanf(line + key_len, ": %llu", reinterpret_cast<unsigned long long*>(&value));
+      break;
+    }
+  }
+  std::fclose(f);
+  return value;
+}
+
+}  // namespace
+
+uint64_t PeakRssKb() { return ReadStatusKb("VmHWM"); }
+uint64_t CurrentRssKb() { return ReadStatusKb("VmRSS"); }
+
+ChildMeasurement MeasureInChild(const std::function<void(uint64_t[4])>& body) {
+  ChildMeasurement out;
+  // Return freed arena pages to the kernel first; otherwise the child's
+  // allocations reuse already-mapped heap left over from building the
+  // input graph and VmHWM never grows (the measurement floors out).
+  malloc_trim(0);
+  int pipe_fd[2];
+  if (pipe(pipe_fd) != 0) {
+    // Degraded path: measure in-process (RSS delta may be polluted).
+    const uint64_t before = PeakRssKb();
+    Timer t;
+    body(out.payload);
+    out.seconds = t.Seconds();
+    out.peak_rss_delta_kb = PeakRssKb() - before;
+    out.ok = true;
+    return out;
+  }
+  const pid_t pid = fork();
+  if (pid == 0) {
+    // Child: run and report.
+    close(pipe_fd[0]);
+    ChildMeasurement report;
+    const uint64_t before = PeakRssKb();
+    Timer t;
+    body(report.payload);
+    report.seconds = t.Seconds();
+    report.peak_rss_delta_kb = PeakRssKb() - before;
+    report.ok = true;
+    ssize_t written = write(pipe_fd[1], &report, sizeof(report));
+    (void)written;
+    close(pipe_fd[1]);
+    _exit(0);
+  }
+  close(pipe_fd[1]);
+  if (pid > 0) {
+    const ssize_t got = read(pipe_fd[0], &out, sizeof(out));
+    if (got != static_cast<ssize_t>(sizeof(out))) out.ok = false;
+    int status = 0;
+    waitpid(pid, &status, 0);
+  }
+  close(pipe_fd[0]);
+  return out;
+}
+
+double MeasureSeconds(const std::function<void()>& body) {
+  Timer t;
+  body();
+  return t.Seconds();
+}
+
+}  // namespace rpmis

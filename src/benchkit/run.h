@@ -1,0 +1,39 @@
+// Measurement helpers for the experiment harness.
+//
+// Memory (the paper uses memusage(1)) is measured by forking: the child
+// runs the workload and reports its own peak RSS (VmHWM) delta through a
+// pipe, so concurrent measurements never contaminate each other. Up to
+// four uint64 payload values can be returned alongside time and memory
+// (e.g. solution size, peel count).
+#ifndef RPMIS_BENCHKIT_RUN_H_
+#define RPMIS_BENCHKIT_RUN_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace rpmis {
+
+/// Current process peak resident set size (VmHWM), in KiB.
+uint64_t PeakRssKb();
+
+/// Current process resident set size (VmRSS), in KiB.
+uint64_t CurrentRssKb();
+
+struct ChildMeasurement {
+  double seconds = 0.0;
+  uint64_t peak_rss_delta_kb = 0;  // child VmHWM growth during the run
+  uint64_t payload[4] = {0, 0, 0, 0};
+  bool ok = false;
+};
+
+/// Forks, runs `body` in the child (which may fill `payload`), and
+/// returns wall time + peak-RSS growth attributable to the run. Falls
+/// back to in-process measurement when fork is unavailable.
+ChildMeasurement MeasureInChild(const std::function<void(uint64_t payload[4])>& body);
+
+/// In-process wall-time measurement.
+double MeasureSeconds(const std::function<void()>& body);
+
+}  // namespace rpmis
+
+#endif  // RPMIS_BENCHKIT_RUN_H_

@@ -1,0 +1,92 @@
+#include "benchkit/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "support/assert.h"
+
+namespace rpmis {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  RPMIS_ASSERT(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<size_t> width(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      // Left-align the first column (names), right-align numbers.
+      if (c == 0) {
+        out << row[c] << std::string(width[c] - row[c].size(), ' ');
+      } else {
+        out << std::string(width[c] - row[c].size(), ' ') << row[c];
+      }
+    }
+    out << " |\n";
+  };
+  print_row(headers_);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out << (c == 0 ? "|" : "-|") << std::string(width[c] + 1, '-');
+  }
+  out << "-|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatCount(uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  const size_t first = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first) % 3 == 0 && i >= first) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[32];
+  if (seconds < 0.001) {
+    std::snprintf(buf, sizeof(buf), "%.0fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  }
+  return buf;
+}
+
+std::string FormatKb(uint64_t kb) {
+  char buf[32];
+  if (kb < 1024) {
+    std::snprintf(buf, sizeof(buf), "%lluKB", static_cast<unsigned long long>(kb));
+  } else if (kb < 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fMB", kb / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fGB", kb / (1024.0 * 1024.0));
+  }
+  return buf;
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string FormatPercent(double ratio, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, ratio * 100.0);
+  return buf;
+}
+
+}  // namespace rpmis

@@ -1,0 +1,44 @@
+// Aligned ASCII table output for the experiment harness, matching the
+// row/column layouts of the paper's tables.
+#ifndef RPMIS_BENCHKIT_TABLE_H_
+#define RPMIS_BENCHKIT_TABLE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rpmis {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Prints with column alignment and a header separator.
+  void Print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// 1234567 -> "1,234,567".
+std::string FormatCount(uint64_t value);
+
+/// Seconds with adaptive precision ("1.23s", "45ms").
+std::string FormatSeconds(double seconds);
+
+/// Kilobytes -> human-readable ("12.3MB").
+std::string FormatKb(uint64_t kb);
+
+/// Fixed-precision double.
+std::string FormatDouble(double value, int precision);
+
+/// "99.998%"-style accuracy (ratio in [0,1]).
+std::string FormatPercent(double ratio, int precision = 3);
+
+}  // namespace rpmis
+
+#endif  // RPMIS_BENCHKIT_TABLE_H_

@@ -1,0 +1,77 @@
+#include "exact/brute_force.h"
+
+#include <bit>
+
+namespace rpmis {
+
+namespace {
+
+struct MaskSolver {
+  std::vector<uint64_t> nbr;  // closed-neighbourhood-free adjacency masks
+
+  // Returns (alpha, chosen-mask) for the induced subgraph on `mask`.
+  std::pair<uint32_t, uint64_t> Solve(uint64_t mask) {
+    if (mask == 0) return {0, 0};
+    // Take any degree-<=1 vertex greedily: always optimal.
+    uint64_t rest = mask;
+    while (rest != 0) {
+      const int v = std::countr_zero(rest);
+      rest &= rest - 1;
+      const uint64_t nb = nbr[v] & mask;
+      if (std::popcount(nb) <= 1) {
+        auto [a, chosen] = Solve(mask & ~nb & ~(1ULL << v));
+        return {a + 1, chosen | (1ULL << v)};
+      }
+    }
+    // Branch on a maximum-degree vertex.
+    int best = -1;
+    int best_deg = -1;
+    rest = mask;
+    while (rest != 0) {
+      const int v = std::countr_zero(rest);
+      rest &= rest - 1;
+      const int d = std::popcount(nbr[v] & mask);
+      if (d > best_deg) {
+        best_deg = d;
+        best = v;
+      }
+    }
+    auto [a_out, c_out] = Solve(mask & ~(1ULL << best));
+    auto [a_in, c_in] = Solve(mask & ~nbr[best] & ~(1ULL << best));
+    if (a_in + 1 > a_out) return {a_in + 1, c_in | (1ULL << best)};
+    return {a_out, c_out};
+  }
+};
+
+MaskSolver MakeSolver(const Graph& g) {
+  RPMIS_ASSERT_MSG(g.NumVertices() <= 64, "brute force limited to 64 vertices");
+  MaskSolver s;
+  s.nbr.assign(g.NumVertices(), 0);
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    for (Vertex w : g.Neighbors(v)) s.nbr[v] |= 1ULL << w;
+  }
+  return s;
+}
+
+}  // namespace
+
+uint64_t BruteForceAlpha(const Graph& g) {
+  MaskSolver s = MakeSolver(g);
+  const uint64_t all =
+      g.NumVertices() == 64 ? ~0ULL : (1ULL << g.NumVertices()) - 1;
+  return s.Solve(all).first;
+}
+
+std::vector<uint8_t> BruteForceMis(const Graph& g) {
+  MaskSolver s = MakeSolver(g);
+  const uint64_t all =
+      g.NumVertices() == 64 ? ~0ULL : (1ULL << g.NumVertices()) - 1;
+  const uint64_t chosen = s.Solve(all).second;
+  std::vector<uint8_t> out(g.NumVertices(), 0);
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    if ((chosen >> v) & 1) out[v] = 1;
+  }
+  return out;
+}
+
+}  // namespace rpmis

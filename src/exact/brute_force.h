@@ -1,0 +1,24 @@
+// Exponential reference solver for small graphs (tests and ground truth).
+//
+// Branches on a highest-degree vertex with the classic include/exclude
+// recursion over 64-bit vertex masks; degree-<=1 vertices are taken
+// greedily, which is optimal. Intended for n <= 64 and test-sized inputs.
+#ifndef RPMIS_EXACT_BRUTE_FORCE_H_
+#define RPMIS_EXACT_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rpmis {
+
+/// Exact independence number of g (requires g.NumVertices() <= 64).
+uint64_t BruteForceAlpha(const Graph& g);
+
+/// An exact maximum independent set of g (requires n <= 64).
+std::vector<uint8_t> BruteForceMis(const Graph& g);
+
+}  // namespace rpmis
+
+#endif  // RPMIS_EXACT_BRUTE_FORCE_H_

@@ -1,0 +1,166 @@
+#include "exact/vc_solver.h"
+
+#include <algorithm>
+
+#include "baselines/greedy.h"
+#include "graph/algorithms.h"
+#include "mis/kernelizer.h"
+#include "mis/near_linear.h"
+#include "mis/upper_bounds.h"
+#include "mis/verify.h"
+#include "support/timer.h"
+
+namespace rpmis {
+
+namespace {
+
+class BranchAndReduce {
+ public:
+  explicit BranchAndReduce(const VcSolverOptions& options)
+      : limit_(options.time_limit_seconds),
+        use_rp_bound_(options.use_reducing_peeling_bound) {}
+
+  // Returns a maximum IS of g, or a best-effort IS if the budget expired.
+  std::vector<uint8_t> Solve(const Graph& g) {
+    ++nodes_;
+    if (timer_.Seconds() > limit_) timed_out_ = true;
+    if (timed_out_) return RunGreedy(g).in_set;
+    if (g.NumEdges() == 0) return std::vector<uint8_t>(g.NumVertices(), 1);
+
+    // Reduce.
+    Kernelizer kern(g);
+    kern.Run();
+    const Graph& kernel = kern.Kernel();
+    if (kernel.NumVertices() == 0) {
+      return kern.Lift({});
+    }
+
+    // Decompose into connected components.
+    const ComponentInfo cc = ConnectedComponents(kernel);
+    std::vector<uint8_t> kernel_solution(kernel.NumVertices(), 0);
+    if (cc.num_components > 1) {
+      for (Vertex c = 0; c < cc.num_components; ++c) {
+        std::vector<Vertex> members(
+            cc.members.begin() + cc.offsets[c],
+            cc.members.begin() + cc.offsets[c + 1]);
+        std::vector<Vertex> old_to_new;
+        const Graph sub = kernel.InducedSubgraph(members, &old_to_new);
+        const std::vector<uint8_t> sub_solution = Branch(sub);
+        for (Vertex m : members) {
+          if (sub_solution[old_to_new[m]]) kernel_solution[m] = 1;
+        }
+      }
+    } else {
+      kernel_solution = Branch(kernel);
+    }
+    return kern.Lift(kernel_solution);
+  }
+
+  uint64_t Nodes() const { return nodes_; }
+  bool TimedOut() const { return timed_out_; }
+
+ private:
+  // Branch on a kernel that is connected and irreducible.
+  std::vector<uint8_t> Branch(const Graph& g) {
+    if (timer_.Seconds() > limit_) timed_out_ = true;
+    if (timed_out_) return RunGreedy(g).in_set;
+    if (g.NumEdges() == 0) return std::vector<uint8_t>(g.NumVertices(), 1);
+
+    // Maximum-degree branching vertex.
+    Vertex pivot = 0;
+    for (Vertex v = 1; v < g.NumVertices(); ++v) {
+      if (g.Degree(v) > g.Degree(pivot)) pivot = v;
+    }
+
+    // Branch A: include pivot => recurse on G \ N[pivot].
+    std::vector<Vertex> keep_in;
+    std::vector<uint8_t> drop(g.NumVertices(), 0);
+    drop[pivot] = 1;
+    for (Vertex w : g.Neighbors(pivot)) drop[w] = 1;
+    for (Vertex v = 0; v < g.NumVertices(); ++v) {
+      if (!drop[v]) keep_in.push_back(v);
+    }
+    std::vector<Vertex> map_in;
+    const Graph g_in = g.InducedSubgraph(keep_in, &map_in);
+    const std::vector<uint8_t> sol_in = Solve(g_in);
+    uint64_t size_in = 1;
+    for (uint8_t f : sol_in) size_in += f;
+
+    // Branch B: exclude pivot => recurse on G \ pivot, but only if its
+    // clique-cover bound can beat branch A.
+    std::vector<Vertex> keep_out;
+    for (Vertex v = 0; v < g.NumVertices(); ++v) {
+      if (v != pivot) keep_out.push_back(v);
+    }
+    std::vector<Vertex> map_out;
+    const Graph g_out = g.InducedSubgraph(keep_out, &map_out);
+
+    std::vector<uint8_t> best(g.NumVertices(), 0);
+    best[pivot] = 1;
+    for (Vertex v : keep_in) {
+      if (sol_in[map_in[v]]) best[v] = 1;
+    }
+    uint64_t best_size = size_in;
+
+    uint64_t bound_out = timed_out_ ? 0 : CliqueCoverBound(g_out);
+    if (use_rp_bound_ && bound_out > best_size) {
+      // §6: NearLinear's |I| + |R| bound is free and often tighter; its
+      // solution is also a strong incumbent for this subproblem.
+      MisSolution nl = RunNearLinear(g_out);
+      bound_out = std::min(bound_out, nl.UpperBound());
+      if (nl.size > best_size) {
+        best_size = nl.size;
+        std::fill(best.begin(), best.end(), 0);
+        for (Vertex v : keep_out) {
+          if (nl.in_set[map_out[v]]) best[v] = 1;
+        }
+      }
+    }
+    if (!timed_out_ && bound_out > best_size) {
+      const std::vector<uint8_t> sol_out = Solve(g_out);
+      uint64_t size_out = 0;
+      for (uint8_t f : sol_out) size_out += f;
+      if (size_out > best_size) {
+        best_size = size_out;
+        std::fill(best.begin(), best.end(), 0);
+        for (Vertex v : keep_out) {
+          if (sol_out[map_out[v]]) best[v] = 1;
+        }
+      }
+    }
+    return best;
+  }
+
+  Timer timer_;
+  double limit_;
+  bool use_rp_bound_ = false;
+  bool timed_out_ = false;
+  uint64_t nodes_ = 0;
+};
+
+}  // namespace
+
+VcSolverResult SolveExactMis(const Graph& g, const VcSolverOptions& options) {
+  Timer timer;
+  VcSolverResult result;
+
+  // Top-level kernel statistics (reported in Figure 8 / Eval-III).
+  {
+    Kernelizer kern(g);
+    kern.Run();
+    result.kernel_vertices = kern.Kernel().NumVertices();
+    result.kernel_edges = kern.Kernel().NumEdges();
+  }
+
+  BranchAndReduce solver(options);
+  result.in_set = solver.Solve(g);
+  RPMIS_ASSERT(IsIndependentSet(g, result.in_set));
+  ExtendToMaximal(g, result.in_set);
+  for (uint8_t f : result.in_set) result.size += f;
+  result.branch_nodes = solver.Nodes();
+  result.proven_optimal = !solver.TimedOut();
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace rpmis

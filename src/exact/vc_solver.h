@@ -1,0 +1,44 @@
+// Branch-and-reduce exact MIS solver (Akiba–Iwata [1] substitute,
+// "VCSolver" in the paper's experiments).
+//
+// Each node: kernelize with the full rule set (mis/kernelizer.h), split
+// into connected components, prune with the greedy clique-cover bound,
+// then branch on a maximum-degree vertex (include / exclude). A wall-clock
+// budget makes runs terminate on hard instances: on expiry the solver
+// completes the open subproblems greedily and reports
+// proven_optimal = false.
+#ifndef RPMIS_EXACT_VC_SOLVER_H_
+#define RPMIS_EXACT_VC_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rpmis {
+
+struct VcSolverOptions {
+  double time_limit_seconds = 30.0;
+  /// §6 extension: additionally prune subproblems with NearLinear's free
+  /// Theorem 6.1 bound (|I| + |R|), which the paper reports to be tighter
+  /// than the classic clique-cover/LP/cycle-cover bounds. NearLinear's
+  /// solution also warm-starts the incumbent for the subproblem.
+  bool use_reducing_peeling_bound = false;
+};
+
+struct VcSolverResult {
+  std::vector<uint8_t> in_set;   // best independent set found
+  uint64_t size = 0;
+  bool proven_optimal = false;   // true iff search completed in budget
+  uint64_t branch_nodes = 0;
+  uint64_t kernel_vertices = 0;  // top-level kernel size
+  uint64_t kernel_edges = 0;
+  double seconds = 0.0;
+};
+
+/// Computes a maximum independent set of g (exact if within budget).
+VcSolverResult SolveExactMis(const Graph& g, const VcSolverOptions& options = {});
+
+}  // namespace rpmis
+
+#endif  // RPMIS_EXACT_VC_SOLVER_H_

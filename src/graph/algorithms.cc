@@ -1,0 +1,160 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+
+#include "ds/bucket_queue.h"
+
+namespace rpmis {
+
+ComponentInfo ConnectedComponents(const Graph& g) {
+  const Vertex n = g.NumVertices();
+  ComponentInfo info;
+  info.component_id.assign(n, kInvalidVertex);
+
+  std::vector<Vertex> queue;
+  queue.reserve(n);
+  for (Vertex s = 0; s < n; ++s) {
+    if (info.component_id[s] != kInvalidVertex) continue;
+    const Vertex c = info.num_components++;
+    info.component_id[s] = c;
+    queue.push_back(s);
+    size_t head = queue.size() - 1;
+    while (head < queue.size()) {
+      const Vertex v = queue[head++];
+      for (Vertex w : g.Neighbors(v)) {
+        if (info.component_id[w] == kInvalidVertex) {
+          info.component_id[w] = c;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+
+  // Group members by component with a counting sort.
+  info.offsets.assign(static_cast<size_t>(info.num_components) + 1, 0);
+  for (Vertex v = 0; v < n; ++v) ++info.offsets[info.component_id[v] + 1];
+  for (size_t c = 1; c < info.offsets.size(); ++c) info.offsets[c] += info.offsets[c - 1];
+  info.members.resize(n);
+  std::vector<uint64_t> cursor(info.offsets.begin(), info.offsets.end() - 1);
+  for (Vertex v = 0; v < n; ++v) info.members[cursor[info.component_id[v]]++] = v;
+  return info;
+}
+
+std::vector<uint32_t> ReverseEdgeIndex(const Graph& g) {
+  const uint64_t directed = 2 * g.NumEdges();
+  RPMIS_ASSERT_MSG(directed < static_cast<uint64_t>(kInvalidVertex),
+                   "graph too large for 32-bit edge ids");
+  std::vector<uint32_t> rev(directed);
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    const auto nb = g.Neighbors(v);
+    for (size_t i = 0; i < nb.size(); ++i) {
+      const Vertex w = nb[i];
+      const auto wn = g.Neighbors(w);
+      const auto it = std::lower_bound(wn.begin(), wn.end(), v);
+      RPMIS_DASSERT(it != wn.end() && *it == v);
+      rev[g.EdgeBegin(v) + i] =
+          static_cast<uint32_t>(g.EdgeBegin(w) + (it - wn.begin()));
+    }
+  }
+  return rev;
+}
+
+std::vector<uint32_t> EdgeTriangleCounts(const Graph& g) {
+  const uint64_t directed = 2 * g.NumEdges();
+  RPMIS_ASSERT(directed < static_cast<uint64_t>(kInvalidVertex));
+  std::vector<uint32_t> delta(directed, 0);
+  const std::vector<uint32_t> rev = ReverseEdgeIndex(g);
+  for (Vertex u = 0; u < g.NumVertices(); ++u) {
+    const auto un = g.Neighbors(u);
+    for (size_t i = 0; i < un.size(); ++i) {
+      const Vertex v = un[i];
+      if (u > v) continue;  // count each undirected edge once
+      // Sorted-merge intersection of N(u) and N(v).
+      const auto vn = g.Neighbors(v);
+      uint32_t count = 0;
+      size_t a = 0, b = 0;
+      while (a < un.size() && b < vn.size()) {
+        if (un[a] < vn[b]) {
+          ++a;
+        } else if (un[a] > vn[b]) {
+          ++b;
+        } else {
+          ++count;
+          ++a;
+          ++b;
+        }
+      }
+      const uint64_t e = g.EdgeBegin(u) + i;
+      delta[e] = count;
+      delta[rev[e]] = count;
+    }
+  }
+  return delta;
+}
+
+uint64_t CountTriangles(const Graph& g) {
+  const std::vector<uint32_t> delta = EdgeTriangleCounts(g);
+  uint64_t total = 0;
+  for (uint32_t d : delta) total += d;
+  // Each triangle is counted once per directed edge of its three edges.
+  return total / 6;
+}
+
+CoreDecomposition ComputeCores(const Graph& g) {
+  const Vertex n = g.NumVertices();
+  CoreDecomposition out;
+  out.core.assign(n, 0);
+  out.order.reserve(n);
+  if (n == 0) return out;
+
+  std::vector<uint32_t> deg(n);
+  for (Vertex v = 0; v < n; ++v) deg[v] = g.Degree(v);
+  BucketQueue q = BucketQueue::FromKeys(deg, g.MaxDegree());
+  uint32_t current = 0;
+  while (!q.Empty()) {
+    const uint32_t k = q.MinKey();
+    current = std::max(current, k);
+    const Vertex v = q.PopMin();
+    out.core[v] = current;
+    out.order.push_back(v);
+    for (Vertex w : g.Neighbors(v)) {
+      if (q.Contains(w) && q.KeyOf(w) > 0) q.Update(w, q.KeyOf(w) - 1);
+    }
+  }
+  out.degeneracy = current;
+  return out;
+}
+
+DegreeStats ComputeDegreeStats(const Graph& g) {
+  DegreeStats s;
+  const Vertex n = g.NumVertices();
+  if (n == 0) return s;
+  s.min_degree = ~0u;
+  for (Vertex v = 0; v < n; ++v) {
+    const uint32_t d = g.Degree(v);
+    s.min_degree = std::min(s.min_degree, d);
+    s.max_degree = std::max(s.max_degree, d);
+    if (d <= 2) ++s.num_degree_le2;
+  }
+  s.avg_degree = g.AverageDegree();
+  return s;
+}
+
+std::vector<uint64_t> DegreeHistogram(const Graph& g) {
+  std::vector<uint64_t> histogram(g.NumVertices() == 0 ? 0 : g.MaxDegree() + 1, 0);
+  for (Vertex v = 0; v < g.NumVertices(); ++v) ++histogram[g.Degree(v)];
+  return histogram;
+}
+
+double GlobalClusteringCoefficient(const Graph& g) {
+  uint64_t wedges = 0;
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    const uint64_t d = g.Degree(v);
+    wedges += d * (d - 1) / 2;
+  }
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(CountTriangles(g)) /
+         static_cast<double>(wedges);
+}
+
+}  // namespace rpmis

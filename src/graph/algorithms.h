@@ -1,0 +1,74 @@
+// Shared graph algorithms: connectivity, triangle counts, core numbers.
+//
+// These are the analytical substrates the paper's algorithms rely on:
+// NearLinear (§5) maintains a triangle count per edge to test dominance in
+// O(1); its one-pass prepass uses a degree ordering; the exact solver and
+// the benchmark harness split graphs into connected components.
+#ifndef RPMIS_GRAPH_ALGORITHMS_H_
+#define RPMIS_GRAPH_ALGORITHMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rpmis {
+
+/// Connected components labelling.
+struct ComponentInfo {
+  std::vector<Vertex> component_id;  // per vertex, in [0, num_components)
+  Vertex num_components = 0;
+  /// Vertices grouped by component, concatenated; component c occupies
+  /// [offsets[c], offsets[c+1]).
+  std::vector<Vertex> members;
+  std::vector<uint64_t> offsets;
+};
+
+/// Computes connected components by BFS. O(n + m).
+ComponentInfo ConnectedComponents(const Graph& g);
+
+/// Per-directed-edge reverse index: for the directed edge id e representing
+/// (u, v), result[e] is the id of (v, u). O(m log Δ). Asserts that the
+/// directed edge count fits in 32 bits (the paper's 4m-int space budget).
+std::vector<uint32_t> ReverseEdgeIndex(const Graph& g);
+
+/// Per-directed-edge triangle counts δ(u, v) = |N(u) ∩ N(v)| (Lemma 5.2).
+/// Both directions of an edge carry the same count.
+/// O(sum over edges of d(u) + d(v)) = O(m · Δ), O(m · a(G)) in practice.
+std::vector<uint32_t> EdgeTriangleCounts(const Graph& g);
+
+/// Total number of triangles in the graph.
+uint64_t CountTriangles(const Graph& g);
+
+/// Core decomposition by min-degree peeling.
+struct CoreDecomposition {
+  std::vector<uint32_t> core;   // core number per vertex
+  std::vector<Vertex> order;    // a degeneracy ordering
+  uint32_t degeneracy = 0;      // max core number
+};
+
+/// Computes core numbers and a degeneracy ordering. O(n + m).
+CoreDecomposition ComputeCores(const Graph& g);
+
+/// Summary degree statistics (used by the Table 2 bench and DESIGN checks).
+struct DegreeStats {
+  uint32_t min_degree = 0;
+  uint32_t max_degree = 0;
+  double avg_degree = 0.0;
+  uint64_t num_degree_le2 = 0;  // vertices the exact reductions feed on
+};
+
+DegreeStats ComputeDegreeStats(const Graph& g);
+
+/// Degree histogram: result[d] = number of vertices with degree d
+/// (size = max degree + 1; empty for the empty graph).
+std::vector<uint64_t> DegreeHistogram(const Graph& g);
+
+/// Global clustering coefficient: 3 * #triangles / #wedges (0 if the
+/// graph has no wedge). Planted-core instances have visibly higher values
+/// than pure Chung-Lu graphs — the structure dominance feeds on.
+double GlobalClusteringCoefficient(const Graph& g);
+
+}  // namespace rpmis
+
+#endif  // RPMIS_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,351 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "support/random.h"
+
+namespace rpmis {
+
+Graph ErdosRenyiGnm(Vertex n, uint64_t m, uint64_t seed) {
+  RPMIS_ASSERT(n >= 2 || m == 0);
+  const uint64_t max_pairs =
+      static_cast<uint64_t>(n) * (n - 1) / 2;
+  m = std::min(m, max_pairs);
+  Rng rng(seed);
+  std::unordered_set<uint64_t> used;
+  used.reserve(m * 2);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  // Rejection sampling is fine while m is well below max_pairs, which is
+  // the sparse regime this library targets.
+  while (edges.size() < m) {
+    Vertex u = static_cast<Vertex>(rng.NextBounded(n));
+    Vertex v = static_cast<Vertex>(rng.NextBounded(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    const uint64_t key = static_cast<uint64_t>(u) * n + v;
+    if (used.insert(key).second) edges.emplace_back(u, v);
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+Graph ErdosRenyiGnp(Vertex n, double p, uint64_t seed) {
+  RPMIS_ASSERT(p >= 0.0 && p <= 1.0);
+  std::vector<Edge> edges;
+  if (p <= 0.0 || n < 2) return Graph::FromEdges(n, edges);
+  Rng rng(seed);
+  if (p >= 1.0) return CompleteGraph(n);
+  // Geometric skipping over the implicit pair sequence.
+  const double log1mp = std::log1p(-p);
+  uint64_t idx = 0;
+  const uint64_t total = static_cast<uint64_t>(n) * (n - 1) / 2;
+  while (true) {
+    const double r = rng.NextDouble();
+    const uint64_t skip =
+        static_cast<uint64_t>(std::floor(std::log1p(-r) / log1mp));
+    idx += skip;
+    if (idx >= total) break;
+    // Decode pair index -> (u, v) with u < v via the triangular layout.
+    const double dn = static_cast<double>(n);
+    Vertex u = static_cast<Vertex>(
+        dn - 2 - std::floor(std::sqrt(-8.0 * static_cast<double>(idx) +
+                                      4.0 * dn * (dn - 1) - 7) /
+                                2.0 -
+                            0.5));
+    // Guard against floating point drift at the row boundaries.
+    auto row_start = [&](Vertex r_) {
+      return static_cast<uint64_t>(r_) * n - static_cast<uint64_t>(r_) * (r_ + 1) / 2;
+    };
+    while (u > 0 && row_start(u) > idx) --u;
+    while (row_start(u + 1) <= idx) ++u;
+    const Vertex v = static_cast<Vertex>(u + 1 + (idx - row_start(u)));
+    edges.emplace_back(u, v);
+    ++idx;
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+Graph ChungLuPowerLaw(Vertex n, double beta, double avg_degree, uint64_t seed) {
+  RPMIS_ASSERT(beta > 1.0);
+  RPMIS_ASSERT(n >= 2);
+  // Expected-degree weights with a Zipf-like tail: w_i = c (i + i0)^(-gamma)
+  // where gamma = 1/(beta-1) yields degree distribution exponent beta.
+  const double gamma = 1.0 / (beta - 1.0);
+  const double i0 = 10.0;  // offset tames the largest hub
+  std::vector<double> w(n);
+  double sum = 0.0;
+  for (Vertex i = 0; i < n; ++i) {
+    w[i] = std::pow(static_cast<double>(i) + i0, -gamma);
+    sum += w[i];
+  }
+  const double scale = avg_degree * static_cast<double>(n) / sum;
+  double total = 0.0;
+  for (Vertex i = 0; i < n; ++i) {
+    w[i] *= scale;
+    // Cap weights so p = w_i w_j / S stays a probability.
+    total += w[i];
+  }
+  const double cap = std::sqrt(total);
+  for (Vertex i = 0; i < n; ++i) w[i] = std::min(w[i], cap);
+
+  // Weights are already sorted in decreasing order by construction.
+  // Miller–Hagberg style edge skipping: expected O(n + m).
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(avg_degree * n / 2));
+  const double s = total;
+  for (Vertex i = 0; i + 1 < n; ++i) {
+    Vertex j = i + 1;
+    double p = std::min(w[i] * w[j] / s, 1.0);
+    while (j < n && p > 0) {
+      if (p < 1.0) {
+        const double r = rng.NextDouble();
+        const double skip = std::floor(std::log1p(-r) / std::log1p(-p));
+        if (skip >= static_cast<double>(n - j)) break;
+        j += static_cast<Vertex>(skip);
+      }
+      const double q = std::min(w[i] * w[j] / s, 1.0);
+      if (rng.NextDouble() < q / p) edges.emplace_back(i, j);
+      p = q;
+      ++j;
+    }
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+Graph BarabasiAlbert(Vertex n, uint32_t edges_per_vertex, uint64_t seed) {
+  RPMIS_ASSERT(edges_per_vertex >= 1);
+  RPMIS_ASSERT(n > edges_per_vertex);
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(n) * edges_per_vertex);
+  // `targets` holds each endpoint once per incident edge, so uniform
+  // sampling from it is degree-proportional sampling.
+  std::vector<Vertex> targets;
+  targets.reserve(2 * static_cast<size_t>(n) * edges_per_vertex);
+  // Seed clique on the first edges_per_vertex + 1 vertices keeps early
+  // degrees nonzero.
+  for (Vertex u = 0; u <= edges_per_vertex; ++u) {
+    for (Vertex v = u + 1; v <= edges_per_vertex; ++v) {
+      edges.emplace_back(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  std::vector<Vertex> chosen;
+  for (Vertex v = edges_per_vertex + 1; v < n; ++v) {
+    chosen.clear();
+    while (chosen.size() < edges_per_vertex) {
+      const Vertex t = targets[rng.NextBounded(targets.size())];
+      if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+        chosen.push_back(t);
+      }
+    }
+    for (Vertex t : chosen) {
+      edges.emplace_back(v, t);
+      targets.push_back(v);
+      targets.push_back(t);
+    }
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+Graph RMat(uint32_t scale, uint64_t m, double a, double b, double c, uint64_t seed) {
+  RPMIS_ASSERT(scale >= 1 && scale < 32);
+  RPMIS_ASSERT(a > 0 && b >= 0 && c >= 0 && a + b + c < 1.0);
+  const Vertex n = static_cast<Vertex>(1u) << scale;
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (uint64_t e = 0; e < m; ++e) {
+    Vertex u = 0, v = 0;
+    for (uint32_t bit = 0; bit < scale; ++bit) {
+      const double r = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant: no bits set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u != v) edges.emplace_back(u, v);
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+namespace {
+
+// Adds a random dense core on a random subset of [0, n) to `edges`
+// (duplicates collapse in Graph::FromEdges). Eighty percent of the core's
+// edge budget is spent on uniform pair edges and the rest on small random
+// CLIQUES (size 4-6): web/social cores are clustered, and near-clique
+// neighbourhoods are what the dominance reduction (Lemma 5.2) feeds on.
+void PlantCore(std::vector<Edge>* edges, Vertex n, Vertex core_n,
+               double core_avg, Rng* rng) {
+  RPMIS_ASSERT(core_n <= n && core_n >= 3);
+  // Random subset via partial Fisher-Yates.
+  std::vector<Vertex> ids(n);
+  for (Vertex v = 0; v < n; ++v) ids[v] = v;
+  for (Vertex i = 0; i < core_n; ++i) {
+    const Vertex j = i + static_cast<Vertex>(rng->NextBounded(n - i));
+    std::swap(ids[i], ids[j]);
+  }
+  const uint64_t core_m = static_cast<uint64_t>(core_n * core_avg / 2.0);
+  const uint64_t pair_edges = core_m * 4 / 5;
+  for (uint64_t e = 0; e < pair_edges; ++e) {
+    const Vertex a = static_cast<Vertex>(rng->NextBounded(core_n));
+    Vertex b = a;
+    while (b == a) b = static_cast<Vertex>(rng->NextBounded(core_n));
+    edges->emplace_back(ids[a], ids[b]);
+  }
+  uint64_t spent = pair_edges;
+  std::vector<Vertex> members;
+  while (spent < core_m) {
+    const uint32_t q = 4 + static_cast<uint32_t>(rng->NextBounded(3));
+    members.clear();
+    while (members.size() < q) {
+      const Vertex x = static_cast<Vertex>(rng->NextBounded(core_n));
+      if (std::find(members.begin(), members.end(), x) == members.end()) {
+        members.push_back(x);
+      }
+    }
+    for (uint32_t i = 0; i < q; ++i) {
+      for (uint32_t j = i + 1; j < q; ++j) {
+        edges->emplace_back(ids[members[i]], ids[members[j]]);
+      }
+    }
+    spent += static_cast<uint64_t>(q) * (q - 1) / 2;
+  }
+}
+
+}  // namespace
+
+Graph PowerLawWithCore(Vertex n, double beta, double avg_degree,
+                       Vertex core_n, double core_avg_degree, uint64_t seed) {
+  Graph base = ChungLuPowerLaw(n, beta, avg_degree, seed);
+  std::vector<Edge> edges = base.CollectEdges();
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  PlantCore(&edges, n, core_n, core_avg_degree, &rng);
+  return Graph::FromEdges(n, edges);
+}
+
+Graph RMatWithCore(uint32_t scale, uint64_t m, Vertex core_n,
+                   double core_avg_degree, uint64_t seed) {
+  Graph base = RMat(scale, m, 0.57, 0.19, 0.19, seed);
+  std::vector<Edge> edges = base.CollectEdges();
+  Rng rng(seed ^ 0x517cc1b727220a95ULL);
+  PlantCore(&edges, base.NumVertices(), core_n, core_avg_degree, &rng);
+  return Graph::FromEdges(base.NumVertices(), edges);
+}
+
+Graph PathGraph(Vertex n) {
+  std::vector<Edge> edges;
+  for (Vertex v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  return Graph::FromEdges(n, edges);
+}
+
+Graph CycleGraph(Vertex n) {
+  RPMIS_ASSERT(n >= 3);
+  std::vector<Edge> edges;
+  for (Vertex v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  edges.emplace_back(n - 1, 0);
+  return Graph::FromEdges(n, edges);
+}
+
+Graph CompleteGraph(Vertex n) {
+  std::vector<Edge> edges;
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+Graph CompleteBipartite(Vertex a, Vertex b) {
+  std::vector<Edge> edges;
+  for (Vertex u = 0; u < a; ++u) {
+    for (Vertex v = 0; v < b; ++v) edges.emplace_back(u, a + v);
+  }
+  return Graph::FromEdges(a + b, edges);
+}
+
+Graph StarGraph(Vertex leaves) {
+  std::vector<Edge> edges;
+  for (Vertex v = 1; v <= leaves; ++v) edges.emplace_back(0, v);
+  return Graph::FromEdges(leaves + 1, edges);
+}
+
+Graph GridGraph(Vertex rows, Vertex cols) {
+  std::vector<Edge> edges;
+  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return Graph::FromEdges(rows * cols, edges);
+}
+
+Graph BinaryTree(Vertex n) {
+  std::vector<Edge> edges;
+  for (Vertex v = 1; v < n; ++v) edges.emplace_back(v, (v - 1) / 2);
+  return Graph::FromEdges(n, edges);
+}
+
+Graph Theorem31Gadget(Vertex k) {
+  RPMIS_ASSERT_MSG(k >= 2 && (k & (k - 1)) == 0, "k must be a power of two");
+  // Layout (original ids):
+  //   layer 1: t0, t1                              (2 vertices)
+  //   layer 2: s_0 .. s_{2k-1}                     (2k vertices)
+  //   layer 3: v_0 .. v_{k-1}                      (k vertices)
+  //   layer 4: trigger vertices, rounds 1..log2(k) (k-1 vertices)
+  std::vector<Edge> edges;
+  const Vertex t0 = 0, t1 = 1;
+  const Vertex s_base = 2;
+  const Vertex v_base = s_base + 2 * k;
+  Vertex next = v_base + k;
+
+  // Layers 1-2: complete bipartite K_{2,2k}.
+  for (Vertex i = 0; i < 2 * k; ++i) {
+    edges.emplace_back(t0, s_base + i);
+    edges.emplace_back(t1, s_base + i);
+  }
+  // Layer 3 -> layer 2: v_i touches s_{2i}, s_{2i+1}.
+  for (Vertex i = 0; i < k; ++i) {
+    edges.emplace_back(v_base + i, s_base + 2 * i);
+    edges.emplace_back(v_base + i, s_base + 2 * i + 1);
+  }
+  // Layer 4, round 1: degree-2 triggers folding adjacent pairs (v_{2j}, v_{2j+1}).
+  for (Vertex j = 0; 2 * j + 1 < k; ++j) {
+    const Vertex u = next++;
+    edges.emplace_back(u, v_base + 2 * j);
+    edges.emplace_back(u, v_base + 2 * j + 1);
+  }
+  // Rounds r >= 2: degree-3 triggers. The trigger for block j of width 2^r
+  // touches the last vertices of the two sub-blocks of the left half (which
+  // the previous round merged into one supervertex) plus the last vertex of
+  // the right half; after round r-1 it has degree 2 and folds the halves.
+  for (Vertex width = 4; width <= k; width *= 2) {
+    const Vertex half = width / 2;
+    const Vertex quarter = width / 4;
+    for (Vertex j = 0; (j + 1) * width <= k; ++j) {
+      const Vertex base = j * width;
+      const Vertex u = next++;
+      edges.emplace_back(u, v_base + base + quarter - 1);       // left sub-block end
+      edges.emplace_back(u, v_base + base + half - 1);          // left half end
+      edges.emplace_back(u, v_base + base + width - 1);         // right half end
+    }
+  }
+  return Graph::FromEdges(next, edges);
+}
+
+}  // namespace rpmis

@@ -1,0 +1,71 @@
+// Synthetic graph generators.
+//
+// These stand in for the paper's datasets (see DESIGN.md §4): Chung–Lu
+// power-law graphs reproduce the PLR instances of Table 5 (the paper uses
+// NetworkX power-law random graphs), G(n,m) reproduces the GTGraph random
+// graphs of Table 6, Barabási–Albert and R-MAT provide power-law /
+// web-crawl-shaped substitutes for the SNAP and LAW real graphs, and the
+// deterministic families are test fixtures — including the Θ(n log n)
+// adversarial family from the proof of Theorem 3.1.
+#ifndef RPMIS_GRAPH_GENERATORS_H_
+#define RPMIS_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace rpmis {
+
+/// Erdős–Rényi G(n, m): exactly m distinct uniform random edges
+/// (fewer if m exceeds the number of available pairs).
+Graph ErdosRenyiGnm(Vertex n, uint64_t m, uint64_t seed);
+
+/// Erdős–Rényi G(n, p): each pair independently with probability p.
+/// Uses geometric skipping, O(n + m) expected. Intended for p = O(1/n).
+Graph ErdosRenyiGnp(Vertex n, double p, uint64_t seed);
+
+/// Chung–Lu power-law graph with exponent beta (> 1) and target average
+/// degree. Expected degree of the i-th vertex follows w_i ∝ (i + i0)^(-1/(beta-1)),
+/// scaled so the expected average degree matches `avg_degree`. This is the
+/// PLR model of Table 5.
+Graph ChungLuPowerLaw(Vertex n, double beta, double avg_degree, uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `edges_per_vertex` existing vertices chosen proportionally to degree.
+Graph BarabasiAlbert(Vertex n, uint32_t edges_per_vertex, uint64_t seed);
+
+/// R-MAT generator: 2^scale vertices, `m` sampled edges with quadrant
+/// probabilities (a, b, c, implicit d = 1-a-b-c). Duplicates collapse, so
+/// the final edge count is slightly below m. Web-crawl-shaped skew.
+Graph RMat(uint32_t scale, uint64_t m, double a, double b, double c, uint64_t seed);
+
+/// Chung–Lu power-law graph with a planted Erdős–Rényi core: `core_n`
+/// randomly chosen vertices additionally receive a G(core_n, core_m) among
+/// themselves, with core_m = core_n * core_avg_degree / 2. Models the
+/// dense sub-communities that make real web/social graphs resist
+/// kernelization (the paper's instances with non-empty kernels).
+Graph PowerLawWithCore(Vertex n, double beta, double avg_degree,
+                       Vertex core_n, double core_avg_degree, uint64_t seed);
+
+/// R-MAT graph with a planted Erdős–Rényi core (see PowerLawWithCore).
+Graph RMatWithCore(uint32_t scale, uint64_t m, Vertex core_n,
+                   double core_avg_degree, uint64_t seed);
+
+/// Deterministic fixtures.
+Graph PathGraph(Vertex n);
+Graph CycleGraph(Vertex n);
+Graph CompleteGraph(Vertex n);
+Graph CompleteBipartite(Vertex a, Vertex b);
+Graph StarGraph(Vertex leaves);
+Graph GridGraph(Vertex rows, Vertex cols);
+/// Complete binary tree with n vertices (vertex 0 the root, children 2i+1, 2i+2).
+Graph BinaryTree(Vertex n);
+
+/// The adversarial four-layer family from the proof of Theorem 3.1: BDTwo's
+/// degree-two folding performs Θ(k log k) work on it while the graph has
+/// only Θ(k) edges. `k` must be a power of two (the third-layer width).
+Graph Theorem31Gadget(Vertex k);
+
+}  // namespace rpmis
+
+#endif  // RPMIS_GRAPH_GENERATORS_H_

@@ -1,0 +1,224 @@
+#include "graph/io.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace rpmis {
+
+namespace {
+
+[[noreturn]] void Fail(const std::string& what) {
+  throw std::runtime_error("rpmis::io: " + what);
+}
+
+bool IsCommentOrBlank(const std::string& line) {
+  for (char c : line) {
+    if (c == ' ' || c == '\t' || c == '\r') continue;
+    return c == '#' || c == '%';
+  }
+  return true;  // blank
+}
+
+}  // namespace
+
+Graph ReadEdgeList(std::istream& in) {
+  std::unordered_map<uint64_t, Vertex> remap;
+  std::vector<Edge> edges;
+  std::string line;
+  auto intern = [&](uint64_t raw) {
+    auto [it, inserted] = remap.emplace(raw, static_cast<Vertex>(remap.size()));
+    (void)inserted;
+    return it->second;
+  };
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsCommentOrBlank(line)) continue;
+    std::istringstream ls(line);
+    uint64_t a = 0, b = 0;
+    if (!(ls >> a >> b)) Fail("malformed edge at line " + std::to_string(line_no));
+    edges.emplace_back(intern(a), intern(b));
+  }
+  return Graph::FromEdges(static_cast<Vertex>(remap.size()), edges);
+}
+
+Graph ReadEdgeListFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) Fail("cannot open " + path);
+  return ReadEdgeList(in);
+}
+
+void WriteEdgeList(const Graph& g, std::ostream& out) {
+  out << "# rpmis edge list: " << g.NumVertices() << " vertices, "
+      << g.NumEdges() << " edges\n";
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    for (Vertex w : g.Neighbors(v)) {
+      if (v < w) out << v << ' ' << w << '\n';
+    }
+  }
+}
+
+void WriteEdgeListFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) Fail("cannot open " + path + " for writing");
+  WriteEdgeList(g, out);
+}
+
+Graph ReadDimacs(std::istream& in) {
+  std::string line;
+  Vertex n = 0;
+  std::vector<Edge> edges;
+  bool saw_problem = false;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream ls(line);
+    char kind = 0;
+    ls >> kind;
+    if (kind == 'p') {
+      std::string fmt;
+      uint64_t nn = 0, mm = 0;
+      if (!(ls >> fmt >> nn >> mm)) Fail("bad DIMACS problem line");
+      n = static_cast<Vertex>(nn);
+      edges.reserve(mm);
+      saw_problem = true;
+    } else if (kind == 'e') {
+      if (!saw_problem) Fail("DIMACS edge before problem line");
+      uint64_t a = 0, b = 0;
+      if (!(ls >> a >> b) || a == 0 || b == 0 || a > n || b > n) {
+        Fail("bad DIMACS edge at line " + std::to_string(line_no));
+      }
+      edges.emplace_back(static_cast<Vertex>(a - 1), static_cast<Vertex>(b - 1));
+    }
+  }
+  if (!saw_problem) Fail("missing DIMACS problem line");
+  return Graph::FromEdges(n, edges);
+}
+
+void WriteDimacs(const Graph& g, std::ostream& out) {
+  out << "p edge " << g.NumVertices() << ' ' << g.NumEdges() << '\n';
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    for (Vertex w : g.Neighbors(v)) {
+      if (v < w) out << "e " << (v + 1) << ' ' << (w + 1) << '\n';
+    }
+  }
+}
+
+Graph ReadMetis(std::istream& in) {
+  std::string line;
+  // Header: n m [fmt]
+  do {
+    if (!std::getline(in, line)) Fail("empty METIS file");
+  } while (!line.empty() && line[0] == '%');
+  std::istringstream hs(line);
+  uint64_t n = 0, m = 0, fmt = 0;
+  if (!(hs >> n >> m)) Fail("bad METIS header");
+  if (hs >> fmt && fmt != 0) Fail("weighted METIS files are not supported");
+
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  Vertex v = 0;
+  while (v < n && std::getline(in, line)) {
+    if (!line.empty() && line[0] == '%') continue;
+    std::istringstream ls(line);
+    uint64_t w = 0;
+    while (ls >> w) {
+      if (w == 0 || w > n) Fail("bad METIS neighbour for vertex " + std::to_string(v + 1));
+      edges.emplace_back(v, static_cast<Vertex>(w - 1));
+    }
+    ++v;
+  }
+  if (v != n) Fail("METIS file truncated");
+  return Graph::FromEdges(static_cast<Vertex>(n), edges);
+}
+
+void WriteMetis(const Graph& g, std::ostream& out) {
+  out << g.NumVertices() << ' ' << g.NumEdges() << '\n';
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    bool first = true;
+    for (Vertex w : g.Neighbors(v)) {
+      if (!first) out << ' ';
+      out << (w + 1);
+      first = false;
+    }
+    out << '\n';
+  }
+}
+
+namespace {
+
+constexpr char kBinaryMagic[4] = {'R', 'P', 'M', 'I'};
+constexpr uint32_t kBinaryVersion = 1;
+
+template <typename T>
+void PutRaw(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T GetRaw(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) Fail("truncated binary graph");
+  return value;
+}
+
+}  // namespace
+
+void WriteBinary(const Graph& g, std::ostream& out) {
+  out.write(kBinaryMagic, 4);
+  PutRaw(out, kBinaryVersion);
+  PutRaw(out, static_cast<uint64_t>(g.NumVertices()));
+  PutRaw(out, g.NumEdges());
+  for (Vertex v = 0; v <= g.NumVertices(); ++v) {
+    PutRaw(out, v == g.NumVertices() ? 2 * g.NumEdges() : g.EdgeBegin(v));
+  }
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    for (Vertex w : g.Neighbors(v)) PutRaw(out, w);
+  }
+}
+
+Graph ReadBinary(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kBinaryMagic, 4) != 0) {
+    Fail("bad binary graph magic");
+  }
+  if (GetRaw<uint32_t>(in) != kBinaryVersion) Fail("unsupported version");
+  const uint64_t n = GetRaw<uint64_t>(in);
+  const uint64_t m = GetRaw<uint64_t>(in);
+  std::vector<uint64_t> offsets(n + 1);
+  for (uint64_t v = 0; v <= n; ++v) offsets[v] = GetRaw<uint64_t>(in);
+  if (offsets[0] != 0 || offsets[n] != 2 * m) Fail("corrupt binary offsets");
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (uint64_t v = 0; v < n; ++v) {
+    if (offsets[v] > offsets[v + 1]) Fail("corrupt binary offsets");
+    for (uint64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+      const Vertex w = GetRaw<Vertex>(in);
+      if (w >= n) Fail("corrupt binary neighbour");
+      if (v < w) edges.emplace_back(static_cast<Vertex>(v), w);
+    }
+  }
+  return Graph::FromEdges(static_cast<Vertex>(n), edges);
+}
+
+void WriteBinaryFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) Fail("cannot open " + path + " for writing");
+  WriteBinary(g, out);
+}
+
+Graph ReadBinaryFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) Fail("cannot open " + path);
+  return ReadBinary(in);
+}
+
+}  // namespace rpmis

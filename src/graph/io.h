@@ -1,0 +1,51 @@
+// Graph readers/writers: whitespace edge lists (SNAP style), DIMACS, METIS.
+//
+// The paper's datasets come from SNAP and the Laboratory of Web
+// Algorithmics; both distribute plain edge lists, which is the primary
+// format here. DIMACS and METIS are provided for interoperability with
+// MIS/VC solver ecosystems (KaMIS, VCSolver artifacts).
+#ifndef RPMIS_GRAPH_IO_H_
+#define RPMIS_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace rpmis {
+
+/// Reads a whitespace-separated edge list ("u v" per line). Lines starting
+/// with '#' or '%' are comments. Vertex ids are arbitrary non-negative
+/// integers and are remapped densely in order of first appearance.
+/// Throws std::runtime_error on malformed input.
+Graph ReadEdgeList(std::istream& in);
+Graph ReadEdgeListFile(const std::string& path);
+
+/// Writes "u v" lines, one per undirected edge, with a '#' header.
+void WriteEdgeList(const Graph& g, std::ostream& out);
+void WriteEdgeListFile(const Graph& g, const std::string& path);
+
+/// Reads a DIMACS clique/VC instance: "p edge n m" then "e u v" (1-based).
+Graph ReadDimacs(std::istream& in);
+
+/// Writes DIMACS "p edge" format.
+void WriteDimacs(const Graph& g, std::ostream& out);
+
+/// Reads a METIS graph file: header "n m", then line i holds the 1-based
+/// neighbours of vertex i. Only unweighted (fmt 0) files are supported.
+Graph ReadMetis(std::istream& in);
+
+/// Writes METIS format.
+void WriteMetis(const Graph& g, std::ostream& out);
+
+/// Binary CSR snapshot ("RPMI" magic + version + n + m + offsets +
+/// neighbours, little-endian): loads in O(read) with no parsing, the
+/// format to use for repeated experiments on big graphs.
+void WriteBinary(const Graph& g, std::ostream& out);
+Graph ReadBinary(std::istream& in);
+void WriteBinaryFile(const Graph& g, const std::string& path);
+Graph ReadBinaryFile(const std::string& path);
+
+}  // namespace rpmis
+
+#endif  // RPMIS_GRAPH_IO_H_

@@ -1,0 +1,238 @@
+#include "localsearch/arw.h"
+
+#include <algorithm>
+
+#include "mis/verify.h"
+#include "support/assert.h"
+#include "support/fast_set.h"
+#include "support/random.h"
+#include "support/timer.h"
+
+namespace rpmis {
+
+namespace {
+
+class ArwState {
+ public:
+  ArwState(const Graph& g, std::vector<uint8_t> initial,
+           std::vector<uint8_t> excluded, uint64_t seed)
+      : g_(g),
+        n_(g.NumVertices()),
+        excluded_(std::move(excluded)),
+        in_set_(std::move(initial)),
+        tight_(n_, 0),
+        out_since_(n_, 0),
+        mark_(n_),
+        scratch_(n_),
+        rng_(seed) {
+    RPMIS_ASSERT(in_set_.size() == n_);
+    RPMIS_ASSERT_MSG(IsIndependentSet(g, in_set_), "ARW needs a valid start");
+    if (excluded_.empty()) excluded_.assign(n_, 0);
+    RPMIS_ASSERT(excluded_.size() == n_);
+    for (Vertex v = 0; v < n_; ++v) {
+      if (!in_set_[v]) continue;
+      ++size_;
+      for (Vertex w : g.Neighbors(v)) ++tight_[w];
+    }
+  }
+
+  uint64_t Size() const { return size_; }
+  const std::vector<uint8_t>& InSet() const { return in_set_; }
+
+  void LoadSolution(const std::vector<uint8_t>& solution) {
+    std::fill(tight_.begin(), tight_.end(), 0);
+    in_set_ = solution;
+    size_ = 0;
+    for (Vertex v = 0; v < n_; ++v) {
+      if (!in_set_[v]) continue;
+      ++size_;
+      for (Vertex w : g_.Neighbors(v)) ++tight_[w];
+    }
+  }
+
+  void Insert(Vertex v) {
+    RPMIS_DASSERT(!in_set_[v] && tight_[v] == 0);
+    in_set_[v] = 1;
+    ++size_;
+    for (Vertex w : g_.Neighbors(v)) ++tight_[w];
+  }
+
+  void Remove(Vertex v) {
+    RPMIS_DASSERT(in_set_[v]);
+    in_set_[v] = 0;
+    --size_;
+    out_since_[v] = ++clock_;
+    for (Vertex w : g_.Neighbors(v)) --tight_[w];
+  }
+
+  /// Forces v into the solution, evicting its solution neighbours first.
+  void ForceInsert(Vertex v) {
+    if (in_set_[v]) return;
+    for (Vertex w : g_.Neighbors(v)) {
+      if (in_set_[w]) Remove(w);
+    }
+    Insert(v);
+  }
+
+  /// Inserts every free (tightness-0) non-excluded vertex.
+  uint64_t InsertFreeVertices() {
+    uint64_t added = 0;
+    for (Vertex v = 0; v < n_; ++v) {
+      if (!in_set_[v] && tight_[v] == 0 && !excluded_[v]) {
+        Insert(v);
+        ++added;
+      }
+    }
+    return added;
+  }
+
+  /// Tries one (1,2)-swap around solution vertex x. Returns true if the
+  /// solution grew. A valid swap needs two NON-adjacent 1-tight
+  /// neighbours of x (their unique solution neighbour is necessarily x).
+  bool TryOneTwoSwap(Vertex x) {
+    RPMIS_DASSERT(in_set_[x]);
+    candidates_.clear();
+    for (Vertex w : g_.Neighbors(x)) {
+      if (!in_set_[w] && tight_[w] == 1 && !excluded_[w]) candidates_.push_back(w);
+    }
+    if (candidates_.size() < 2) return false;
+    // Look for a non-adjacent pair by marking each candidate's
+    // neighbourhood; total cost O(sum of candidate degrees).
+    mark_.Clear();
+    for (Vertex c : candidates_) mark_.Insert(c);
+    for (Vertex u : candidates_) {
+      // Count candidate neighbours of u; if fewer than the other
+      // candidates, some candidate is non-adjacent to u.
+      size_t adjacent = 0;
+      for (Vertex w : g_.Neighbors(u)) {
+        if (mark_.Contains(w)) ++adjacent;
+      }
+      if (adjacent + 1 < candidates_.size()) {
+        // Find the concrete partner.
+        scratch_.Clear();
+        for (Vertex w : g_.Neighbors(u)) scratch_.Insert(w);
+        for (Vertex w : candidates_) {
+          if (w != u && !scratch_.Contains(w)) {
+            Remove(x);
+            Insert(u);
+            Insert(w);
+            return true;
+          }
+        }
+        RPMIS_ASSERT_MSG(false, "counted partner must exist");
+      }
+    }
+    return false;
+  }
+
+  /// Exhausts free insertions and (1,2)-swaps starting from `worklist`
+  /// seeds (empty => all solution vertices). Returns the size gain.
+  uint64_t LocalSearch(std::vector<Vertex> worklist) {
+    const uint64_t before = size_;
+    InsertFreeVertices();
+    if (worklist.empty()) {
+      for (Vertex v = 0; v < n_; ++v) {
+        if (in_set_[v]) worklist.push_back(v);
+      }
+    }
+    while (!worklist.empty()) {
+      const Vertex x = worklist.back();
+      worklist.pop_back();
+      if (!in_set_[x]) continue;
+      if (TryOneTwoSwap(x)) {
+        InsertFreeVertices();
+        // The swap changed tightness around x's former neighbourhood;
+        // re-examine nearby solution vertices.
+        for (Vertex w : g_.Neighbors(x)) {
+          if (in_set_[w]) worklist.push_back(w);
+          for (Vertex y : g_.Neighbors(w)) {
+            if (in_set_[y]) worklist.push_back(y);
+          }
+        }
+      }
+    }
+    return size_ - before;
+  }
+
+  /// The ARW perturbation: force f vertices in, oldest-outside first among
+  /// random probes; f = i+1 with probability 2^-i.
+  /// Returns seeds for the subsequent local search.
+  std::vector<Vertex> Perturb() {
+    uint32_t f = 1;
+    while (rng_.NextBool(0.5)) ++f;
+    std::vector<Vertex> seeds;
+    for (uint32_t i = 0; i < f; ++i) {
+      // Probe a few random non-solution vertices, keep the one outside
+      // the solution the longest (smallest out_since).
+      Vertex best = kInvalidVertex;
+      for (int probe = 0; probe < 4; ++probe) {
+        const Vertex v = static_cast<Vertex>(rng_.NextBounded(n_));
+        if (in_set_[v] || excluded_[v]) continue;
+        if (best == kInvalidVertex || out_since_[v] < out_since_[best]) best = v;
+      }
+      if (best == kInvalidVertex) continue;
+      ForceInsert(best);
+      seeds.push_back(best);
+      for (Vertex w : g_.Neighbors(best)) {
+        if (in_set_[w]) seeds.push_back(w);
+      }
+    }
+    return seeds;
+  }
+
+ private:
+  const Graph& g_;
+  Vertex n_;
+  std::vector<uint8_t> excluded_;
+  std::vector<uint8_t> in_set_;
+  uint64_t size_ = 0;
+  std::vector<uint32_t> tight_;
+  std::vector<uint64_t> out_since_;
+  uint64_t clock_ = 0;
+  FastSet mark_;
+  FastSet scratch_;
+  std::vector<Vertex> candidates_;
+  Rng rng_;
+};
+
+}  // namespace
+
+ArwResult RunArw(const Graph& g, std::vector<uint8_t> initial,
+                 const ArwOptions& options) {
+  Timer timer;
+  ArwResult result;
+  if (g.NumVertices() == 0) {
+    result.in_set.clear();
+    return result;
+  }
+  ArwState state(g, std::move(initial), options.excluded, options.seed);
+
+  auto record_best = [&]() {
+    result.in_set = state.InSet();
+    result.size = state.Size();
+    const double t = timer.Seconds();
+    result.history.push_back({t, result.size});
+    if (options.on_improvement) options.on_improvement(t, result.in_set);
+  };
+
+  // First point: one full local-search pass over the initial solution.
+  state.LocalSearch({});
+  record_best();
+
+  while (timer.Seconds() < options.time_limit_seconds &&
+         result.iterations < options.max_iterations) {
+    ++result.iterations;
+    std::vector<Vertex> seeds = state.Perturb();
+    state.LocalSearch(std::move(seeds));
+    if (state.Size() > result.size) {
+      record_best();
+    } else if (state.Size() < result.size) {
+      // Strictly worse after the search: roll back to the incumbent.
+      state.LoadSolution(result.in_set);
+    }
+    // Equal size: keep walking the plateau.
+  }
+  return result;
+}
+
+}  // namespace rpmis

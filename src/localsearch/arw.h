@@ -1,0 +1,59 @@
+// ARW: the Andrade–Resende–Werneck iterated local search (§A.5, [2]).
+//
+// State is a solution plus a per-vertex tightness (number of solution
+// neighbours). Each iteration is
+//   perturbation : force f random non-solution vertices into the solution
+//                  (P(f = i+1) = 2^-i), evicting their solution
+//                  neighbours; candidates are drawn with priority for
+//                  vertices that have been outside the solution longest;
+//   local search : exhaust (1,2)-swaps — remove one solution vertex x and
+//                  insert two non-adjacent 1-tight neighbours of x — plus
+//                  free-vertex insertions (tightness 0).
+// The incumbent is kept; a worse post-search solution is rolled back.
+#ifndef RPMIS_LOCALSEARCH_ARW_H_
+#define RPMIS_LOCALSEARCH_ARW_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rpmis {
+
+/// One point of a convergence trace: a new best size found at a time.
+struct ConvergencePoint {
+  double seconds = 0.0;
+  uint64_t size = 0;
+};
+
+struct ArwOptions {
+  double time_limit_seconds = 1.0;
+  uint64_t max_iterations = ~0ULL;  // perturbation rounds
+  uint64_t seed = 12345;
+  /// Vertices the search must not insert (OnlineMIS's "cutting" of the
+  /// top-degree vertices [19]). Empty = no restriction. Excluded vertices
+  /// may still appear in the INITIAL solution and are never evicted for
+  /// being excluded; they are only barred from (re)insertion.
+  std::vector<uint8_t> excluded;
+  /// Invoked on every new incumbent with (elapsed seconds, solution).
+  /// Useful for boosted variants that lift kernel solutions to the full
+  /// graph before recording the trace.
+  std::function<void(double, const std::vector<uint8_t>&)> on_improvement;
+};
+
+struct ArwResult {
+  std::vector<uint8_t> in_set;  // best solution found
+  uint64_t size = 0;
+  uint64_t iterations = 0;
+  std::vector<ConvergencePoint> history;  // local trace (solution sizes)
+};
+
+/// Improves `initial` (any independent set of g; may be empty) by iterated
+/// local search until the time or iteration budget runs out.
+ArwResult RunArw(const Graph& g, std::vector<uint8_t> initial,
+                 const ArwOptions& options = {});
+
+}  // namespace rpmis
+
+#endif  // RPMIS_LOCALSEARCH_ARW_H_

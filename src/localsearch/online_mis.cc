@@ -1,0 +1,104 @@
+#include "localsearch/online_mis.h"
+
+#include <algorithm>
+
+#include "baselines/du.h"
+#include "mis/solution.h"
+#include "mis/verify.h"
+
+namespace rpmis {
+
+ArwResult RunOnlineMis(const Graph& g, const OnlineMisOptions& options) {
+  const Vertex n = g.NumVertices();
+
+  // Quick SINGLE pass of degree-one + degree-two isolation (not to
+  // fixpoint — that is the point of OnlineMIS's "online" design).
+  std::vector<uint8_t> alive(n, 1);
+  std::vector<uint32_t> deg(n);
+  std::vector<uint8_t> fixed_in(n, 0);
+  for (Vertex v = 0; v < n; ++v) deg[v] = g.Degree(v);
+  auto remove_vertex = [&](Vertex v) {
+    alive[v] = 0;
+    for (Vertex w : g.Neighbors(v)) {
+      if (alive[w] && deg[w] > 0) --deg[w];
+    }
+  };
+  for (Vertex v = 0; v < n; ++v) {
+    if (!alive[v]) continue;
+    if (deg[v] == 0) {
+      fixed_in[v] = 1;
+      continue;
+    }
+    if (deg[v] == 1) {
+      // Take v, drop its surviving neighbour.
+      for (Vertex w : g.Neighbors(v)) {
+        if (alive[w]) {
+          remove_vertex(w);
+          break;
+        }
+      }
+      fixed_in[v] = 1;
+      alive[v] = 0;
+      continue;
+    }
+    if (deg[v] == 2) {
+      Vertex a = kInvalidVertex, b = kInvalidVertex;
+      for (Vertex w : g.Neighbors(v)) {
+        if (!alive[w]) continue;
+        (a == kInvalidVertex ? a : b) = w;
+      }
+      if (b != kInvalidVertex && g.HasEdge(a, b)) {
+        remove_vertex(a);
+        remove_vertex(b);
+        fixed_in[v] = 1;
+        alive[v] = 0;
+      }
+    }
+  }
+
+  // DU on the remaining graph for the initial solution.
+  std::vector<Vertex> rest;
+  std::vector<Vertex> old_to_new;
+  for (Vertex v = 0; v < n; ++v) {
+    if (alive[v]) rest.push_back(v);
+  }
+  Graph sub = g.InducedSubgraph(rest, &old_to_new);
+  MisSolution du = RunDU(sub);
+
+  std::vector<uint8_t> initial = fixed_in;
+  for (Vertex v : rest) {
+    if (du.in_set[old_to_new[v]]) initial[v] = 1;
+  }
+  // Conflicts cannot arise: fixed_in vertices have no surviving
+  // neighbours, but be defensive about the invariant anyway.
+  RPMIS_ASSERT(IsIndependentSet(g, initial));
+
+  // OnlineMIS's "online cutting": the top ~1% degree vertices are barred
+  // from (re)insertion during the search — they are almost never in a
+  // maximum IS and skipping them accelerates the swaps [19]. A final
+  // uncut free-insert pass readmits any that turn out compatible.
+  std::vector<uint8_t> excluded(n, 0);
+  if (n >= 100) {
+    std::vector<uint32_t> degrees(n);
+    for (Vertex v = 0; v < n; ++v) degrees[v] = g.Degree(v);
+    std::vector<uint32_t> sorted = degrees;
+    std::nth_element(sorted.begin(), sorted.end() - n / 100, sorted.end());
+    const uint32_t threshold = sorted[n - n / 100];
+    for (Vertex v = 0; v < n; ++v) {
+      if (degrees[v] > threshold) excluded[v] = 1;
+    }
+  }
+
+  ArwOptions arw;
+  arw.time_limit_seconds = options.time_limit_seconds;
+  arw.seed = options.seed;
+  arw.excluded = std::move(excluded);
+  ArwResult result = RunArw(g, std::move(initial), arw);
+  // Final pass over the full graph: admit any compatible cut vertex.
+  ExtendToMaximal(g, result.in_set);
+  result.size = 0;
+  for (uint8_t f : result.in_set) result.size += f;
+  return result;
+}
+
+}  // namespace rpmis

@@ -1,0 +1,30 @@
+// OnlineMIS (Dahlum et al. [19]): local search accelerated by cheap
+// single-pass reductions.
+//
+// Per §6 of the paper: "OnlineMIS applies only the degree-one reduction
+// and degree-two isolation ... computes the initial solution by first
+// performing a quick single pass of the degree-one reduction and
+// degree-two isolation, and then invoking DU on the remaining graph."
+// The subsequent iterated local search runs on the (full) graph, with the
+// reduced vertices' decisions kept; the original's online cutting of the
+// top-degree vertices is approximated by seeding the search with the
+// high-degree vertices excluded (they re-enter only through swaps).
+#ifndef RPMIS_LOCALSEARCH_ONLINE_MIS_H_
+#define RPMIS_LOCALSEARCH_ONLINE_MIS_H_
+
+#include "graph/graph.h"
+#include "localsearch/arw.h"
+
+namespace rpmis {
+
+struct OnlineMisOptions {
+  double time_limit_seconds = 1.0;
+  uint64_t seed = 777;
+};
+
+/// Runs OnlineMIS and returns its local-search trace and best solution.
+ArwResult RunOnlineMis(const Graph& g, const OnlineMisOptions& options = {});
+
+}  // namespace rpmis
+
+#endif  // RPMIS_LOCALSEARCH_ONLINE_MIS_H_

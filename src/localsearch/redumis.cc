@@ -1,0 +1,74 @@
+#include "localsearch/redumis.h"
+
+#include "baselines/du.h"
+#include "mis/kernelizer.h"
+#include "mis/solution.h"
+#include "mis/verify.h"
+#include "support/timer.h"
+
+namespace rpmis {
+
+ArwResult RunReduMis(const Graph& g, const ReduMisOptions& options) {
+  Timer timer;
+  ArwResult out;
+
+  // Phase 1: full kernelization (the expensive step).
+  Kernelizer kern(g);
+  kern.Run();
+  const Graph& kernel = kern.Kernel();
+
+  auto lift_and_score = [&](const std::vector<uint8_t>& kernel_set) {
+    std::vector<uint8_t> lifted = kern.Lift(kernel_set);
+    ExtendToMaximal(g, lifted);
+    uint64_t size = 0;
+    for (uint8_t f : lifted) size += f;
+    return std::make_pair(size, std::move(lifted));
+  };
+
+  // Phase 2: population of perturbed local searches on the kernel,
+  // time-sliced; the incumbent is lifted whenever it improves.
+  std::vector<uint8_t> seed_solution(kernel.NumVertices(), 0);
+  {
+    MisSolution du = RunDU(kernel);
+    seed_solution = du.in_set;
+  }
+  uint64_t best_kernel_size = 0;
+  std::vector<uint8_t> best_kernel_set = seed_solution;
+
+  const double budget = options.time_limit_seconds;
+  uint32_t member = 0;
+  while (true) {
+    const double left = budget - timer.Seconds();
+    if (left <= 0) break;
+    ArwOptions arw;
+    arw.time_limit_seconds =
+        std::min(left, budget / std::max(1u, options.population));
+    arw.seed = options.seed + member;
+    ArwResult r = RunArw(kernel, seed_solution, arw);
+    if (r.size > best_kernel_size || out.history.empty()) {
+      best_kernel_size = r.size;
+      best_kernel_set = r.in_set;
+      auto [size, lifted] = lift_and_score(best_kernel_set);
+      if (size > out.size || out.history.empty()) {
+        out.size = size;
+        out.in_set = std::move(lifted);
+        out.history.push_back({timer.Seconds(), out.size});
+      }
+      // Elitist restart: future members start from the incumbent.
+      seed_solution = best_kernel_set;
+    }
+    out.iterations += r.iterations;
+    ++member;
+    if (kernel.NumVertices() == 0) break;  // solved by kernelization alone
+  }
+  if (out.in_set.empty()) {
+    auto [size, lifted] = lift_and_score(best_kernel_set);
+    out.size = size;
+    out.in_set = std::move(lifted);
+    out.history.push_back({timer.Seconds(), out.size});
+  }
+  RPMIS_ASSERT(IsMaximalIndependentSet(g, out.in_set));
+  return out;
+}
+
+}  // namespace rpmis

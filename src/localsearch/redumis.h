@@ -1,0 +1,30 @@
+// ReduMIS substitute (Lamm et al. [28]).
+//
+// The original is an evolutionary algorithm whose combine operator needs a
+// multilevel graph partitioner; per DESIGN.md §4 this library substitutes
+// its two load-bearing ingredients: (1) FULL kernelization with the
+// Akiba–Iwata rule set (mis/kernelizer.h) — the expensive step the paper's
+// Eval-III measures — and (2) a diversified multi-start perturbed local
+// search on the kernel, keeping the best lifted solution. It plays
+// ReduMIS's role in the convergence plots: slow to produce its first
+// solution, strong once it does, memory-hungry on large inputs.
+#ifndef RPMIS_LOCALSEARCH_REDUMIS_H_
+#define RPMIS_LOCALSEARCH_REDUMIS_H_
+
+#include "graph/graph.h"
+#include "localsearch/arw.h"
+
+namespace rpmis {
+
+struct ReduMisOptions {
+  double time_limit_seconds = 2.0;
+  uint64_t seed = 4242;
+  uint32_t population = 4;  // independent restarts blended round-robin
+};
+
+/// Runs the ReduMIS substitute; the trace reports full-graph sizes.
+ArwResult RunReduMis(const Graph& g, const ReduMisOptions& options = {});
+
+}  // namespace rpmis
+
+#endif  // RPMIS_LOCALSEARCH_REDUMIS_H_

@@ -1,0 +1,119 @@
+#include "mis/bdone.h"
+
+#include "ds/bucket_queue.h"
+#include "mis/kernel_capture.h"
+
+namespace rpmis {
+
+namespace {
+
+// Snapshots the alive part of the graph into `capture`. BDOne never
+// rewires edges, so an edge survives iff both endpoints are alive (with
+// positive degree; edgeless alive vertices are already decided).
+void CaptureKernel(const Graph& g, const std::vector<uint8_t>& alive,
+                   const std::vector<uint32_t>& deg,
+                   const std::vector<uint8_t>& in_set, KernelSnapshot* capture) {
+  std::vector<Edge> edges;
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    if (!alive[v] || deg[v] == 0) continue;
+    for (Vertex w : g.Neighbors(v)) {
+      if (v < w && alive[w] && deg[w] > 0) edges.emplace_back(v, w);
+    }
+  }
+  internal::BuildKernelSnapshot(alive, deg, in_set, edges, {}, capture);
+}
+
+}  // namespace
+
+MisSolution RunBDOne(const Graph& g, KernelSnapshot* capture) {
+  const Vertex n = g.NumVertices();
+  MisSolution sol;
+  sol.in_set.assign(n, 0);
+
+  std::vector<uint8_t> alive(n, 1);
+  std::vector<uint8_t> peeled(n, 0);
+  std::vector<uint32_t> deg(n);
+  std::vector<Vertex> v1;  // degree-one worklist (may hold stale entries)
+  for (Vertex v = 0; v < n; ++v) {
+    deg[v] = g.Degree(v);
+    if (deg[v] == 0) {
+      sol.in_set[v] = 1;
+      ++sol.rules.degree_zero;
+    } else if (deg[v] == 1) {
+      v1.push_back(v);
+    }
+  }
+  LazyMaxBucketQueue peel_queue(deg);
+
+  // Removes v from the graph: neighbours lose a degree; a neighbour
+  // reaching degree 0 joins I (it is now isolated, hence safe to take).
+  auto delete_vertex = [&](Vertex v) {
+    RPMIS_DASSERT(alive[v]);
+    alive[v] = 0;
+    for (Vertex w : g.Neighbors(v)) {
+      if (!alive[w]) continue;
+      if (--deg[w] == 1) {
+        v1.push_back(w);
+      } else if (deg[w] == 0) {
+        sol.in_set[w] = 1;
+      }
+    }
+  };
+
+  bool peeled_yet = false;
+  while (true) {
+    if (!v1.empty()) {
+      const Vertex u = v1.back();
+      v1.pop_back();
+      if (!alive[u] || deg[u] != 1) continue;  // stale entry
+      // Degree-one reduction: delete u's unique alive neighbour.
+      Vertex nb = kInvalidVertex;
+      for (Vertex w : g.Neighbors(u)) {
+        if (alive[w]) {
+          nb = w;
+          break;
+        }
+      }
+      RPMIS_DASSERT(nb != kInvalidVertex);
+      delete_vertex(nb);
+      ++sol.rules.degree_one;
+      continue;
+    }
+    // Inexact reduction: peel the highest-degree vertex.
+    const Vertex u = peel_queue.PopMax(
+        [&](Vertex v) { return deg[v]; },
+        [&](Vertex v) { return alive[v] && deg[v] >= 2; });
+    if (u == kInvalidVertex) break;
+    if (!peeled_yet) {
+      peeled_yet = true;
+      sol.kernel_vertices = 0;
+      uint64_t kernel_edges2 = 0;
+      for (Vertex v = 0; v < n; ++v) {
+        if (alive[v] && deg[v] > 0) {
+          ++sol.kernel_vertices;
+          kernel_edges2 += deg[v];
+        }
+      }
+      sol.kernel_edges = kernel_edges2 / 2;
+      if (capture != nullptr) CaptureKernel(g, alive, deg, sol.in_set, capture);
+    }
+    peeled[u] = 1;
+    ++sol.rules.peels;
+    delete_vertex(u);
+  }
+
+  if (capture != nullptr && !peeled_yet) {
+    CaptureKernel(g, alive, deg, sol.in_set, capture);  // empty kernel
+  }
+
+  ExtendToMaximal(g, sol.in_set);
+  sol.RecountSize();
+  sol.peeled = sol.rules.peels;
+  for (Vertex v = 0; v < n; ++v) {
+    if (peeled[v] && !sol.in_set[v]) ++sol.residual_peeled;
+  }
+  sol.provably_maximum = (sol.residual_peeled == 0);
+  return sol;
+}
+
+}  // namespace rpmis

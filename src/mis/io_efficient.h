@@ -1,0 +1,89 @@
+// I/O-efficient Reducing-Peeling (the paper's §8 future-work direction,
+// in the semi-external model of Liu et al. [30]).
+//
+// Only O(n) vertex state (degrees, statuses) is kept in memory; the edge
+// set is consumed through a rewindable stream, one sequential pass at a
+// time. Each round:
+//   1. one pass recomputes alive degrees and records, for every vertex,
+//      one alive neighbour (enough to apply the degree-one reduction);
+//   2. all currently degree-one vertices fire the degree-one reduction
+//      (their unique neighbours die) — cascades continue in later rounds;
+//   3. if nothing fired and edges remain, the maximum-degree vertex is
+//      peeled (the inexact reduction).
+// After the graph empties, the solution is extended to a maximal IS by a
+// streaming Luby-style pass: candidates with no solution neighbour join
+// unless a smaller-id candidate neighbour exists (deterministic, conflict
+// free), repeated to fixpoint.
+//
+// The result matches BDOne's quality model (degree-one + peeling): valid,
+// maximal, and it carries the Theorem 6.1 upper bound. Cost:
+// O(passes * m) sequential edge I/O with O(n) memory.
+#ifndef RPMIS_MIS_IO_EFFICIENT_H_
+#define RPMIS_MIS_IO_EFFICIENT_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "mis/solution.h"
+
+namespace rpmis {
+
+/// A rewindable stream of undirected edges. Implementations must deliver
+/// the same sequence on every pass.
+class EdgeStream {
+ public:
+  virtual ~EdgeStream() = default;
+
+  /// Restarts the stream from the first edge.
+  virtual void Rewind() = 0;
+
+  /// Fetches the next edge; returns false at end of stream.
+  virtual bool Next(Edge* edge) = 0;
+};
+
+/// Streams the edges of an in-memory Graph (testing / small inputs).
+class InMemoryEdgeStream final : public EdgeStream {
+ public:
+  explicit InMemoryEdgeStream(const Graph& g);
+
+  void Rewind() override { cursor_ = 0; }
+  bool Next(Edge* edge) override;
+
+ private:
+  std::vector<Edge> edges_;
+  size_t cursor_ = 0;
+};
+
+/// Streams edges from a binary file of consecutive (u, v) Vertex pairs
+/// (written by WriteEdgeStreamFile below). The file is re-read on every
+/// pass; memory stays O(1).
+class FileEdgeStream final : public EdgeStream {
+ public:
+  /// Throws std::runtime_error if the file cannot be opened.
+  explicit FileEdgeStream(const std::string& path);
+  ~FileEdgeStream() override;
+
+  void Rewind() override;
+  bool Next(Edge* edge) override;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Writes g's edges as the binary pair stream FileEdgeStream reads.
+void WriteEdgeStreamFile(const Graph& g, const std::string& path);
+
+struct IoEfficientResult {
+  MisSolution solution;
+  uint64_t reduction_passes = 0;   // sequential edge passes in phase 1
+  uint64_t extension_passes = 0;   // passes of the maximality phase
+};
+
+/// Computes a maximal independent set of the n-vertex graph behind
+/// `stream` with the streaming Reducing-Peeling algorithm above.
+IoEfficientResult RunIoEfficientBDOne(Vertex n, EdgeStream& stream);
+
+}  // namespace rpmis
+
+#endif  // RPMIS_MIS_IO_EFFICIENT_H_

@@ -1,0 +1,30 @@
+// Internal helper to materialize a KernelSnapshot (§6).
+//
+// Each Reducing-Peeling algorithm knows how to enumerate its surviving
+// edges (BDOne reads the input CSR; LinearTime/NearLinear read their
+// rewired adjacency copies); this helper does the shared renumbering work.
+#ifndef RPMIS_MIS_KERNEL_CAPTURE_H_
+#define RPMIS_MIS_KERNEL_CAPTURE_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "mis/solution.h"
+
+namespace rpmis::internal {
+
+/// Builds `out` from the algorithm state at the moment of the first peel.
+/// `alive`/`deg` define kernel membership (alive with positive degree);
+/// `edges` are the surviving edges in original ids; `in_set` gives the
+/// vertices already fixed into I; `deferred` is the deferred-decision
+/// stack so far, in push order.
+void BuildKernelSnapshot(const std::vector<uint8_t>& alive,
+                         const std::vector<uint32_t>& deg,
+                         const std::vector<uint8_t>& in_set,
+                         const std::vector<Edge>& edges,
+                         std::span<const DeferredDecision> deferred, KernelSnapshot* out);
+
+}  // namespace rpmis::internal
+
+#endif  // RPMIS_MIS_KERNEL_CAPTURE_H_

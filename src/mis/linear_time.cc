@@ -1,0 +1,292 @@
+#include "mis/linear_time.h"
+
+#include <algorithm>
+
+#include "ds/bucket_queue.h"
+#include "mis/kernel_capture.h"
+
+namespace rpmis {
+
+namespace {
+
+// Mutable adjacency view over a private copy of the CSR neighbour array.
+// Entries can be overwritten (rewired); deleted endpoints are skipped via
+// the alive bitmap, never physically removed.
+struct MutableCsr {
+  explicit MutableCsr(const Graph& g) : graph(&g) {
+    adj.reserve(2 * g.NumEdges());
+    for (Vertex v = 0; v < g.NumVertices(); ++v) {
+      for (Vertex w : g.Neighbors(v)) adj.push_back(w);
+    }
+  }
+
+  uint64_t Begin(Vertex v) const { return graph->EdgeBegin(v); }
+  uint64_t End(Vertex v) const { return graph->EdgeEnd(v); }
+
+  // Replaces the slot of `old_nb` in a's list with `new_nb`.
+  void Rewire(Vertex a, Vertex old_nb, Vertex new_nb) {
+    for (uint64_t e = Begin(a); e < End(a); ++e) {
+      if (adj[e] == old_nb) {
+        adj[e] = new_nb;
+        return;
+      }
+    }
+    RPMIS_ASSERT_MSG(false, "rewire target not found");
+  }
+
+  const Graph* graph;
+  std::vector<Vertex> adj;
+};
+
+}  // namespace
+
+MisSolution RunLinearTime(const Graph& g, KernelSnapshot* capture) {
+  const Vertex n = g.NumVertices();
+  MisSolution sol;
+  sol.in_set.assign(n, 0);
+
+  MutableCsr csr(g);
+  std::vector<uint8_t> alive(n, 1);
+  std::vector<uint8_t> peeled(n, 0);
+  std::vector<uint32_t> deg(n);
+  std::vector<Vertex> v1, v2;              // worklists (may hold stale entries)
+  std::vector<DeferredDecision> deferred;  // the stack S of Algorithm 4
+  for (Vertex v = 0; v < n; ++v) {
+    deg[v] = g.Degree(v);
+    if (deg[v] == 0) {
+      sol.in_set[v] = 1;
+      ++sol.rules.degree_zero;
+    } else if (deg[v] == 1) {
+      v1.push_back(v);
+    } else if (deg[v] == 2) {
+      v2.push_back(v);
+    }
+  }
+  LazyMaxBucketQueue peel_queue(deg);
+
+  auto first_alive_neighbor = [&](Vertex v) {
+    for (uint64_t e = csr.Begin(v); e < csr.End(v); ++e) {
+      if (alive[csr.adj[e]]) return csr.adj[e];
+    }
+    return kInvalidVertex;
+  };
+
+  // The alive neighbour of v other than `exclude` (v must have exactly two
+  // alive neighbours).
+  auto other_alive_neighbor = [&](Vertex v, Vertex exclude) {
+    for (uint64_t e = csr.Begin(v); e < csr.End(v); ++e) {
+      const Vertex w = csr.adj[e];
+      if (alive[w] && w != exclude) return w;
+    }
+    return kInvalidVertex;
+  };
+
+  auto has_alive_edge = [&](Vertex a, Vertex b) {
+    if (deg[a] > deg[b]) std::swap(a, b);
+    for (uint64_t e = csr.Begin(a); e < csr.End(a); ++e) {
+      if (csr.adj[e] == b) return alive[b] != 0;
+    }
+    return false;
+  };
+
+  // Generic vertex deletion with degree bookkeeping.
+  auto delete_vertex = [&](Vertex v) {
+    RPMIS_DASSERT(alive[v]);
+    alive[v] = 0;
+    for (uint64_t e = csr.Begin(v); e < csr.End(v); ++e) {
+      const Vertex w = csr.adj[e];
+      if (!alive[w]) continue;
+      const uint32_t d = --deg[w];
+      if (d == 1) {
+        v1.push_back(w);
+      } else if (d == 2) {
+        v2.push_back(w);
+      } else if (d == 0) {
+        sol.in_set[w] = 1;
+      }
+    }
+  };
+
+  // Applies the degree-two path/cycle reductions to the maximal structure
+  // containing u (u alive, deg == 2).
+  auto degree_two_path_reduction = [&](Vertex u) {
+    // Walk both directions from u while degree stays 2, collecting the
+    // maximal degree-two path (or detecting a degree-two cycle).
+    Vertex start[2];
+    start[0] = first_alive_neighbor(u);
+    start[1] = other_alive_neighbor(u, start[0]);
+    RPMIS_DASSERT(start[0] != kInvalidVertex && start[1] != kInvalidVertex);
+    std::vector<Vertex> side[2];
+    bool is_cycle = false;
+    Vertex attach[2] = {kInvalidVertex, kInvalidVertex};
+    for (int dir = 0; dir < 2 && !is_cycle; ++dir) {
+      Vertex prev = u;
+      Vertex cur = start[dir];
+      while (deg[cur] == 2) {
+        if (cur == u) {
+          is_cycle = true;
+          break;
+        }
+        side[dir].push_back(cur);
+        const Vertex next = other_alive_neighbor(cur, prev);
+        RPMIS_DASSERT(next != kInvalidVertex);
+        prev = cur;
+        cur = next;
+      }
+      if (!is_cycle) attach[dir] = cur;
+    }
+
+    if (is_cycle) {
+      ++sol.rules.degree_two_path;
+      // Degree-two cycle: drop u; the rest unravels by degree-one steps.
+      delete_vertex(u);
+      return;
+    }
+
+    // path = v_1 .. v_l with attach[1] - v_1 ... u ... v_l - attach[0].
+    std::vector<Vertex> path;
+    path.reserve(side[0].size() + side[1].size() + 1);
+    for (size_t i = side[1].size(); i-- > 0;) path.push_back(side[1][i]);
+    path.push_back(u);
+    path.insert(path.end(), side[0].begin(), side[0].end());
+    const Vertex v = attach[1];
+    const Vertex w = attach[0];
+    RPMIS_DASSERT(v != kInvalidVertex && w != kInvalidVertex);
+    const size_t l = path.size();
+
+    if (v == w) {
+      // Case 1: common attachment; exclude it, path unravels degree-one.
+      ++sol.rules.degree_two_path;
+      delete_vertex(v);
+      return;
+    }
+    const bool vw_edge = has_alive_edge(v, w);
+    if (l % 2 == 1) {
+      if (vw_edge) {
+        // Case 2: drop both attachments; path unravels degree-one.
+        ++sol.rules.degree_two_path;
+        delete_vertex(v);
+        if (alive[w]) delete_vertex(w);
+        return;
+      }
+      if (l == 1) {
+        // Singleton path with non-adjacent degree->=3 attachments: the
+        // path reductions do not apply (Appendix A.2). Checked once; the
+        // vertex re-enters the worklist only if its surroundings change.
+        return;
+      }
+      // Case 3: keep v_1, drop v_2..v_l, rewire (v_1, w); defer decisions
+      // for v_2..v_l so pops run v_2, v_3, ..., v_l (v_1's side first).
+      // Each deferred vertex records its at-removal partners, so chained
+      // rewires keep constraining later replays.
+      ++sol.rules.degree_two_path;
+      for (size_t i = l; i-- > 1;) {
+        deferred.push_back({path[i], path[i - 1], i + 1 < l ? path[i + 1] : w});
+      }
+      for (size_t i = 1; i < l; ++i) {
+        alive[path[i]] = 0;
+        deg[path[i]] = 0;
+      }
+      csr.Rewire(path[0], path[1], w);
+      csr.Rewire(w, path[l - 1], path[0]);
+      // Degrees of v_1 and w are unchanged (one lost slot, one new slot).
+      return;
+    }
+    // Even path: drop all of it; attachments each lose exactly one edge.
+    // Defer decisions so pops run v_1, v_2, ..., v_l.
+    ++sol.rules.degree_two_path;
+    for (size_t i = l; i-- > 0;) {
+      deferred.push_back(
+          {path[i], i > 0 ? path[i - 1] : v, i + 1 < l ? path[i + 1] : w});
+    }
+    for (size_t i = 0; i < l; ++i) {
+      alive[path[i]] = 0;
+      deg[path[i]] = 0;
+    }
+    if (vw_edge) {
+      // Case 4: no rewire; v and w lose a degree.
+      for (Vertex x : {v, w}) {
+        const uint32_t d = --deg[x];
+        if (d == 1) {
+          v1.push_back(x);
+        } else if (d == 2) {
+          v2.push_back(x);
+        } else if (d == 0) {
+          sol.in_set[x] = 1;
+        }
+      }
+    } else {
+      // Case 5: rewire (v, w); degrees unchanged.
+      csr.Rewire(v, path[0], w);
+      csr.Rewire(w, path[l - 1], v);
+    }
+  };
+
+  bool peeled_yet = false;
+  auto capture_now = [&]() {
+    std::vector<Edge> edges;
+    for (Vertex a = 0; a < n; ++a) {
+      if (!alive[a] || deg[a] == 0) continue;
+      for (uint64_t e = csr.Begin(a); e < csr.End(a); ++e) {
+        const Vertex b = csr.adj[e];
+        if (a < b && alive[b] && deg[b] > 0) edges.emplace_back(a, b);
+      }
+    }
+    internal::BuildKernelSnapshot(alive, deg, sol.in_set, edges, deferred, capture);
+  };
+
+  while (true) {
+    if (!v1.empty()) {
+      const Vertex u = v1.back();
+      v1.pop_back();
+      if (!alive[u] || deg[u] != 1) continue;
+      const Vertex nb = first_alive_neighbor(u);
+      RPMIS_DASSERT(nb != kInvalidVertex);
+      delete_vertex(nb);
+      ++sol.rules.degree_one;
+      continue;
+    }
+    if (!v2.empty()) {
+      const Vertex u = v2.back();
+      v2.pop_back();
+      if (!alive[u] || deg[u] != 2) continue;
+      // Singleton non-applicable structures are checked once and skipped:
+      // both neighbours have degree >= 3 and are non-adjacent.
+      degree_two_path_reduction(u);
+      continue;
+    }
+    const Vertex u = peel_queue.PopMax(
+        [&](Vertex x) { return deg[x]; },
+        [&](Vertex x) { return alive[x] && deg[x] >= 2; });
+    if (u == kInvalidVertex) break;
+    if (!peeled_yet) {
+      peeled_yet = true;
+      for (Vertex x = 0; x < n; ++x) {
+        if (alive[x] && deg[x] > 0) {
+          ++sol.kernel_vertices;
+          sol.kernel_edges += deg[x];
+        }
+      }
+      sol.kernel_edges /= 2;
+      if (capture != nullptr) capture_now();
+    }
+    peeled[u] = 1;
+    ++sol.rules.peels;
+    delete_vertex(u);
+  }
+  if (capture != nullptr && !peeled_yet) capture_now();
+
+  // Replay the deferred path decisions (LIFO), then the maximality pass
+  // that also re-admits compatible peeled vertices (Lines 7-8 of Alg. 4).
+  ReplayDeferredStack(deferred, sol.in_set);
+  ExtendToMaximal(g, sol.in_set);
+  sol.RecountSize();
+  sol.peeled = sol.rules.peels;
+  for (Vertex x = 0; x < n; ++x) {
+    if (peeled[x] && !sol.in_set[x]) ++sol.residual_peeled;
+  }
+  sol.provably_maximum = (sol.residual_peeled == 0);
+  return sol;
+}
+
+}  // namespace rpmis

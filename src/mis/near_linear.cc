@@ -1,0 +1,551 @@
+#include "mis/near_linear.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ds/bucket_queue.h"
+#include "graph/algorithms.h"
+#include "mis/kernel_capture.h"
+#include "mis/lp_reduction.h"
+#include "support/fast_set.h"
+
+namespace rpmis {
+
+uint64_t OnePassDominance(const Graph& g, std::vector<uint8_t>& alive,
+                          std::vector<uint32_t>& deg,
+                          std::vector<uint8_t>& in_set) {
+  const Vertex n = g.NumVertices();
+  // Count-sort vertices by decreasing initial degree: high-degree vertices
+  // are the likely dominated ones and removing them shrinks Δ.
+  std::vector<Vertex> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const uint32_t max_deg = g.MaxDegree();
+  std::vector<uint32_t> bucket(max_deg + 2, 0);
+  for (Vertex v = 0; v < n; ++v) ++bucket[max_deg - g.Degree(v) + 1];
+  for (size_t i = 1; i < bucket.size(); ++i) bucket[i] += bucket[i - 1];
+  for (Vertex v = 0; v < n; ++v) order[bucket[max_deg - g.Degree(v)]++] = v;
+
+  FastSet mark(n);
+  uint64_t removed = 0;
+  for (Vertex u : order) {
+    if (!alive[u] || deg[u] == 0) continue;
+    mark.Clear();
+    for (Vertex x : g.Neighbors(u)) {
+      if (alive[x]) mark.Insert(x);
+    }
+    bool dominated = false;
+    for (Vertex v : g.Neighbors(u)) {
+      // v dominates u iff N(v) \ {u} ⊆ N(u); only candidates with
+      // d(v) <= d(u) can succeed, which bounds the scan by min degrees.
+      if (!alive[v] || deg[v] > deg[u]) continue;
+      bool ok = true;
+      for (Vertex w : g.Neighbors(v)) {
+        if (w == u || !alive[w]) continue;
+        if (!mark.Contains(w)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) continue;
+    alive[u] = 0;
+    ++removed;
+    for (Vertex x : g.Neighbors(u)) {
+      if (!alive[x]) continue;
+      if (--deg[x] == 0) in_set[x] = 1;
+    }
+  }
+  return removed;
+}
+
+namespace {
+
+// Directed-edge slot index into the flat adjacency array.
+using Slot = uint32_t;
+constexpr Slot kNoSlot = static_cast<Slot>(-1);
+
+// The NearLinear main loop, operating on a compact kernel graph (the
+// instance that remains after the exact prepasses).
+class NearLinearCore {
+ public:
+  explicit NearLinearCore(const Graph& kg, MisSolution* sol)
+      : kg_(kg),
+        sol_(sol),
+        n_(kg.NumVertices()),
+        alive_(n_, 1),
+        peeled_(n_, 0),
+        in_set_(n_, 0),
+        deg_(n_),
+        mark_(n_),
+        mark2_(n_) {
+    adj_.reserve(2 * kg.NumEdges());
+    for (Vertex v = 0; v < n_; ++v) {
+      deg_[v] = kg.Degree(v);
+      for (Vertex w : kg.Neighbors(v)) adj_.push_back(w);
+      if (deg_[v] == 2) v2_.push_back(v);
+    }
+    delta_ = EdgeTriangleCounts(kg);
+    rev_ = ReverseEdgeIndex(kg);
+    // Initial dominated set: u dominates v  =>  v is dominated.
+    for (Vertex u = 0; u < n_; ++u) {
+      if (deg_[u] == 0) {
+        in_set_[u] = 1;  // isolated kernel vertex (defensive; prepasses
+                         // normally strip these)
+        continue;
+      }
+      for (Slot e = Begin(u); e < End(u); ++e) {
+        if (delta_[e] == deg_[u] - 1) dominated_.push_back(adj_[e]);
+      }
+    }
+  }
+
+  // Runs to completion. Returns the peel count.
+  void Run(bool want_capture, KernelSnapshot* capture,
+           const std::vector<Vertex>& kernel_to_orig,
+           const std::vector<uint8_t>& pre_in_set_orig);
+
+  const std::vector<uint8_t>& InSet() const { return in_set_; }
+  const std::vector<uint8_t>& Peeled() const { return peeled_; }
+  const std::vector<DeferredDecision>& Deferred() const { return deferred_; }
+  const Graph& KernelGraph() const { return kg_; }
+
+  /// Replays the deferred stack (partners are kernel-space ids).
+  void ReplayDeferred() { ReplayDeferredStack(deferred_, in_set_); }
+
+ private:
+  Slot Begin(Vertex v) const { return static_cast<Slot>(kg_.EdgeBegin(v)); }
+  Slot End(Vertex v) const { return static_cast<Slot>(kg_.EdgeEnd(v)); }
+
+  // Rewires a's slot holding old_nb to new_nb; returns the slot.
+  Slot Rewire(Vertex a, Vertex old_nb, Vertex new_nb) {
+    for (Slot e = Begin(a); e < End(a); ++e) {
+      if (adj_[e] == old_nb) {
+        adj_[e] = new_nb;
+        return e;
+      }
+    }
+    RPMIS_ASSERT_MSG(false, "rewire target not found");
+    return kNoSlot;
+  }
+
+  Vertex FirstAliveNeighbor(Vertex v) const {
+    for (Slot e = Begin(v); e < End(v); ++e) {
+      if (alive_[adj_[e]]) return adj_[e];
+    }
+    return kInvalidVertex;
+  }
+
+  Vertex OtherAliveNeighbor(Vertex v, Vertex exclude) const {
+    for (Slot e = Begin(v); e < End(v); ++e) {
+      const Vertex w = adj_[e];
+      if (alive_[w] && w != exclude) return w;
+    }
+    return kInvalidVertex;
+  }
+
+  bool HasAliveEdge(Vertex a, Vertex b) const {
+    if (deg_[a] > deg_[b]) std::swap(a, b);
+    for (Slot e = Begin(a); e < End(a); ++e) {
+      if (adj_[e] == b) return alive_[b] != 0;
+    }
+    return false;
+  }
+
+  // Screens every alive pair (v, x) incident to v for fresh dominance.
+  void RescreenVertex(Vertex v) {
+    if (!alive_[v]) return;
+    for (Slot e = Begin(v); e < End(v); ++e) {
+      const Vertex x = adj_[e];
+      if (!alive_[x]) continue;
+      if (deg_[v] >= 1 && delta_[e] == deg_[v] - 1) dominated_.push_back(x);
+      if (deg_[x] >= 1 && delta_[e] == deg_[x] - 1) dominated_.push_back(v);
+    }
+  }
+
+  void OnDegreeDecrease(Vertex w) {
+    if (deg_[w] == 2) {
+      v2_.push_back(w);
+    } else if (deg_[w] == 0) {
+      in_set_[w] = 1;
+    }
+    // Degree-one vertices need no explicit worklist: such a vertex
+    // dominates its remaining neighbour, which the rescreen pass enqueues.
+  }
+
+  // Deletes x, maintaining degrees, triangle counts and the dominated set.
+  void DeleteVertex(Vertex x) {
+    RPMIS_DASSERT(alive_[x]);
+    alive_[x] = 0;
+    // Pass A: collect alive neighbours, update degrees.
+    scratch_nbrs_.clear();
+    for (Slot e = Begin(x); e < End(x); ++e) {
+      const Vertex v = adj_[e];
+      if (!alive_[v]) continue;
+      scratch_nbrs_.push_back(v);
+      --deg_[v];
+      OnDegreeDecrease(v);
+    }
+    // Pass B: every triangle (x, v, w) loses x; decrement δ on (v, w).
+    mark_.Clear();
+    for (Vertex v : scratch_nbrs_) mark_.Insert(v);
+    for (Vertex v : scratch_nbrs_) {
+      for (Slot e = Begin(v); e < End(v); ++e) {
+        const Vertex w = adj_[e];
+        if (alive_[w] && mark_.Contains(w)) {
+          RPMIS_DASSERT(delta_[e] > 0);
+          --delta_[e];  // the mirror decrements when the loop reaches w
+        }
+      }
+    }
+    // Pass C: neighbours lost a degree, so they may newly dominate; their
+    // two-hop neighbours may newly be dominated (§5 discussion).
+    for (Vertex v : scratch_nbrs_) RescreenVertex(v);
+  }
+
+  void DegreeTwoPathReduction(Vertex u);
+  void ApplyDominance();
+
+  const Graph& kg_;
+  MisSolution* sol_;
+  Vertex n_;
+  std::vector<Vertex> adj_;
+  std::vector<uint32_t> delta_;
+  std::vector<uint32_t> rev_;
+  std::vector<uint8_t> alive_;
+  std::vector<uint8_t> peeled_;
+  std::vector<uint8_t> in_set_;
+  std::vector<uint32_t> deg_;
+  std::vector<Vertex> v2_;
+  std::vector<Vertex> dominated_;
+  std::vector<DeferredDecision> deferred_;
+  std::vector<Vertex> scratch_nbrs_;
+  FastSet mark_, mark2_;
+};
+
+void NearLinearCore::ApplyDominance() {
+  const Vertex u = dominated_.back();
+  dominated_.pop_back();
+  if (!alive_[u] || deg_[u] == 0) return;
+  // Re-verify: u may no longer be dominated (mutual dominance, §A.3).
+  for (Slot e = Begin(u); e < End(u); ++e) {
+    const Vertex v = adj_[e];
+    if (!alive_[v]) continue;
+    if (delta_[e] == deg_[v] - 1) {
+      // v dominates u: remove u.
+      DeleteVertex(u);
+      ++sol_->rules.dominance;
+      return;
+    }
+  }
+}
+
+void NearLinearCore::DegreeTwoPathReduction(Vertex u) {
+  Vertex start[2];
+  start[0] = FirstAliveNeighbor(u);
+  start[1] = OtherAliveNeighbor(u, start[0]);
+  RPMIS_DASSERT(start[0] != kInvalidVertex && start[1] != kInvalidVertex);
+  std::vector<Vertex> side[2];
+  bool is_cycle = false;
+  Vertex attach[2] = {kInvalidVertex, kInvalidVertex};
+  for (int dir = 0; dir < 2 && !is_cycle; ++dir) {
+    Vertex prev = u;
+    Vertex cur = start[dir];
+    while (deg_[cur] == 2) {
+      if (cur == u) {
+        is_cycle = true;
+        break;
+      }
+      side[dir].push_back(cur);
+      const Vertex next = OtherAliveNeighbor(cur, prev);
+      RPMIS_DASSERT(next != kInvalidVertex);
+      prev = cur;
+      cur = next;
+    }
+    if (!is_cycle) attach[dir] = cur;
+  }
+
+  if (is_cycle) {
+    ++sol_->rules.degree_two_path;
+    DeleteVertex(u);
+    return;
+  }
+
+  std::vector<Vertex> path;
+  path.reserve(side[0].size() + side[1].size() + 1);
+  for (size_t i = side[1].size(); i-- > 0;) path.push_back(side[1][i]);
+  path.push_back(u);
+  path.insert(path.end(), side[0].begin(), side[0].end());
+  const Vertex v = attach[1];
+  const Vertex w = attach[0];
+  const size_t l = path.size();
+
+  if (v == w) {
+    ++sol_->rules.degree_two_path;  // Case 1
+    DeleteVertex(v);
+    return;
+  }
+  const bool vw_edge = HasAliveEdge(v, w);
+  if (l % 2 == 1) {
+    if (vw_edge) {
+      ++sol_->rules.degree_two_path;  // Case 2
+      DeleteVertex(v);
+      if (alive_[w]) DeleteVertex(w);
+      return;
+    }
+    if (l == 1) return;  // not applicable (Appendix A.2); checked once
+    // Case 3: keep v_1, drop v_2..v_l, rewire (v_1, w) with δ = 0.
+    ++sol_->rules.degree_two_path;
+    for (size_t i = l; i-- > 1;) {
+      deferred_.push_back({path[i], path[i - 1], i + 1 < l ? path[i + 1] : w});
+    }
+    for (size_t i = 1; i < l; ++i) {
+      alive_[path[i]] = 0;
+      deg_[path[i]] = 0;
+    }
+    const Slot e1 = Rewire(path[0], path[1], w);
+    const Slot e2 = Rewire(w, path[l - 1], path[0]);
+    delta_[e1] = 0;
+    delta_[e2] = 0;
+    rev_[e1] = e2;
+    rev_[e2] = e1;
+    // Degrees of v_1 and w unchanged; no dominance can newly arise
+    // (both endpoints of the fresh edge keep δ = 0 < deg - 1).
+    return;
+  }
+  // Even path: drop all of it.
+  ++sol_->rules.degree_two_path;
+  for (size_t i = l; i-- > 0;) {
+    deferred_.push_back(
+        {path[i], i > 0 ? path[i - 1] : v, i + 1 < l ? path[i + 1] : w});
+  }
+  for (size_t i = 0; i < l; ++i) {
+    alive_[path[i]] = 0;
+    deg_[path[i]] = 0;
+  }
+  if (vw_edge) {
+    // Case 4: v and w lose one degree; triangle counts are untouched, so
+    // only their own "dominates a neighbour" status can flip.
+    for (Vertex x : {v, w}) {
+      --deg_[x];
+      OnDegreeDecrease(x);
+    }
+    RescreenVertex(v);
+    RescreenVertex(w);
+  } else {
+    // Case 5: rewire (v, w); degrees unchanged; every common neighbour x
+    // gains the triangles (x, v, w), so δ(x,v) and δ(x,w) grow by one.
+    const Slot e1 = Rewire(v, path[0], w);
+    const Slot e2 = Rewire(w, path[l - 1], v);
+    rev_[e1] = e2;
+    rev_[e2] = e1;
+    mark_.Clear();
+    for (Slot e = Begin(w); e < End(w); ++e) {
+      if (alive_[adj_[e]]) mark_.Insert(adj_[e]);
+    }
+    uint32_t common = 0;
+    mark2_.Clear();
+    for (Slot e = Begin(v); e < End(v); ++e) {
+      const Vertex x = adj_[e];
+      if (x == w || !alive_[x] || !mark_.Contains(x)) continue;
+      ++common;
+      ++delta_[e];
+      ++delta_[rev_[e]];
+      mark2_.Insert(x);
+    }
+    for (Slot e = Begin(w); e < End(w); ++e) {
+      const Vertex x = adj_[e];
+      if (alive_[x] && mark2_.Contains(x)) {
+        ++delta_[e];
+        ++delta_[rev_[e]];
+      }
+    }
+    delta_[e1] = common;
+    delta_[e2] = common;
+    RescreenVertex(v);
+    RescreenVertex(w);
+  }
+}
+
+void NearLinearCore::Run(bool want_capture, KernelSnapshot* capture,
+                         const std::vector<Vertex>& kernel_to_orig,
+                         const std::vector<uint8_t>& pre_in_set_orig) {
+  std::vector<uint32_t> keys(deg_.begin(), deg_.end());
+  LazyMaxBucketQueue peel_queue(keys);
+  bool peeled_yet = false;
+
+  auto capture_now = [&]() {
+    if (!want_capture) return;
+    // Translate the kernel-space state into original ids and snapshot.
+    const Vertex n_orig = static_cast<Vertex>(pre_in_set_orig.size());
+    std::vector<uint8_t> alive_o(n_orig, 0);
+    std::vector<uint32_t> deg_o(n_orig, 0);
+    std::vector<uint8_t> in_o = pre_in_set_orig;
+    for (Vertex k = 0; k < n_; ++k) {
+      const Vertex o = kernel_to_orig[k];
+      alive_o[o] = alive_[k];
+      deg_o[o] = deg_[k];
+      if (in_set_[k]) in_o[o] = 1;
+    }
+    std::vector<Edge> edges;
+    for (Vertex a = 0; a < n_; ++a) {
+      if (!alive_[a] || deg_[a] == 0) continue;
+      for (Slot e = Begin(a); e < End(a); ++e) {
+        const Vertex b = adj_[e];
+        if (a < b && alive_[b] && deg_[b] > 0) {
+          edges.emplace_back(kernel_to_orig[a], kernel_to_orig[b]);
+        }
+      }
+    }
+    std::vector<DeferredDecision> deferred_o(deferred_.size());
+    for (size_t i = 0; i < deferred_.size(); ++i) {
+      deferred_o[i] = {kernel_to_orig[deferred_[i].v],
+                       kernel_to_orig[deferred_[i].nb1],
+                       kernel_to_orig[deferred_[i].nb2]};
+    }
+    internal::BuildKernelSnapshot(alive_o, deg_o, in_o, edges, deferred_o, capture);
+  };
+
+  while (true) {
+    if (!v2_.empty()) {
+      const Vertex u = v2_.back();
+      v2_.pop_back();
+      if (!alive_[u] || deg_[u] != 2) continue;
+      DegreeTwoPathReduction(u);
+      continue;
+    }
+    if (!dominated_.empty()) {
+      ApplyDominance();
+      continue;
+    }
+    const Vertex u = peel_queue.PopMax(
+        [&](Vertex x) { return deg_[x]; },
+        [&](Vertex x) { return alive_[x] && deg_[x] >= 2; });
+    if (u == kInvalidVertex) break;
+    if (!peeled_yet) {
+      peeled_yet = true;
+      for (Vertex x = 0; x < n_; ++x) {
+        if (alive_[x] && deg_[x] > 0) {
+          ++sol_->kernel_vertices;
+          sol_->kernel_edges += deg_[x];
+        }
+      }
+      sol_->kernel_edges /= 2;
+      capture_now();
+    }
+    peeled_[u] = 1;
+    ++sol_->rules.peels;
+    DeleteVertex(u);
+  }
+  if (!peeled_yet) capture_now();
+}
+
+}  // namespace
+
+MisSolution RunNearLinear(const Graph& g, KernelSnapshot* capture,
+                          const NearLinearOptions& options) {
+  const Vertex n = g.NumVertices();
+  MisSolution sol;
+  sol.in_set.assign(n, 0);
+
+  std::vector<uint8_t> alive(n, 1);
+  std::vector<uint32_t> deg(n);
+  for (Vertex v = 0; v < n; ++v) {
+    deg[v] = g.Degree(v);
+    if (deg[v] == 0) {
+      sol.in_set[v] = 1;
+      ++sol.rules.degree_zero;
+    }
+  }
+
+  // Prepass 1: one-pass dominance, decreasing degree order (shrinks Δ).
+  if (options.one_pass_dominance) {
+    sol.rules.one_pass_dominance = OnePassDominance(g, alive, deg, sol.in_set);
+  }
+
+  // Prepass 2: Nemhauser–Trotter persistency on the surviving subgraph.
+  if (options.lp_reduction) {
+    std::vector<Vertex> ids;
+    std::vector<Vertex> to_compact(n, kInvalidVertex);
+    for (Vertex v = 0; v < n; ++v) {
+      if (alive[v] && deg[v] > 0) {
+        to_compact[v] = static_cast<Vertex>(ids.size());
+        ids.push_back(v);
+      }
+    }
+    std::vector<Edge> edges;
+    for (Vertex v : ids) {
+      for (Vertex w : g.Neighbors(v)) {
+        if (v < w && to_compact[w] != kInvalidVertex) {
+          edges.emplace_back(to_compact[v], to_compact[w]);
+        }
+      }
+    }
+    const LpReduction lp = SolveLpReduction(static_cast<Vertex>(ids.size()), edges);
+    sol.rules.lp = lp.num_include + lp.num_exclude;
+    for (Vertex c = 0; c < ids.size(); ++c) {
+      const Vertex v = ids[c];
+      if (lp.include[c]) {
+        sol.in_set[v] = 1;
+        alive[v] = 0;  // decided; drops out of the kernel
+      } else if (lp.exclude[c]) {
+        alive[v] = 0;
+      }
+    }
+  }
+
+  // Build the compact kernel instance for the main loop.
+  std::vector<Vertex> kernel_to_orig;
+  std::vector<Vertex> orig_to_kernel(n, kInvalidVertex);
+  std::vector<Edge> kernel_edges;
+  {
+    // Recompute liveness-aware degrees after the prepasses.
+    for (Vertex v = 0; v < n; ++v) {
+      if (!alive[v]) continue;
+      uint32_t d = 0;
+      for (Vertex w : g.Neighbors(v)) {
+        if (alive[w]) ++d;
+      }
+      if (d == 0) {
+        sol.in_set[v] = 1;  // isolated survivor joins I
+      } else {
+        orig_to_kernel[v] = static_cast<Vertex>(kernel_to_orig.size());
+        kernel_to_orig.push_back(v);
+      }
+    }
+    for (Vertex v : kernel_to_orig) {
+      for (Vertex w : g.Neighbors(v)) {
+        if (v < w && orig_to_kernel[w] != kInvalidVertex) {
+          kernel_edges.emplace_back(orig_to_kernel[v], orig_to_kernel[w]);
+        }
+      }
+    }
+  }
+  const Graph kernel = Graph::FromEdges(
+      static_cast<Vertex>(kernel_to_orig.size()), kernel_edges);
+
+  NearLinearCore core(kernel, &sol);
+  core.Run(capture != nullptr, capture, kernel_to_orig, sol.in_set);
+
+  // Deferred path decisions resolve inside the kernel space, then
+  // everything maps back to original ids for the final maximality pass.
+  core.ReplayDeferred();
+  std::vector<uint8_t> peeled_orig(n, 0);
+  for (Vertex k = 0; k < kernel.NumVertices(); ++k) {
+    if (core.InSet()[k]) sol.in_set[kernel_to_orig[k]] = 1;
+    if (core.Peeled()[k]) peeled_orig[kernel_to_orig[k]] = 1;
+  }
+  ExtendToMaximal(g, sol.in_set);
+  sol.RecountSize();
+  sol.peeled = sol.rules.peels;
+  for (Vertex v = 0; v < n; ++v) {
+    if (peeled_orig[v] && !sol.in_set[v]) ++sol.residual_peeled;
+  }
+  sol.provably_maximum = (sol.residual_peeled == 0);
+  return sol;
+}
+
+}  // namespace rpmis

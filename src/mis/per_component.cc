@@ -1,0 +1,52 @@
+#include "mis/per_component.h"
+
+#include "graph/algorithms.h"
+
+namespace rpmis {
+
+namespace {
+
+void AddCounters(const RuleCounters& from, RuleCounters* to) {
+  to->degree_zero += from.degree_zero;
+  to->degree_one += from.degree_one;
+  to->degree_two_isolation += from.degree_two_isolation;
+  to->degree_two_folding += from.degree_two_folding;
+  to->degree_two_path += from.degree_two_path;
+  to->dominance += from.dominance;
+  to->one_pass_dominance += from.one_pass_dominance;
+  to->lp += from.lp;
+  to->twin += from.twin;
+  to->unconfined += from.unconfined;
+  to->peels += from.peels;
+}
+
+}  // namespace
+
+MisSolution RunPerComponent(
+    const Graph& g, const std::function<MisSolution(const Graph&)>& algo) {
+  const ComponentInfo cc = ConnectedComponents(g);
+  MisSolution merged;
+  merged.in_set.assign(g.NumVertices(), 0);
+  merged.provably_maximum = true;
+
+  for (Vertex c = 0; c < cc.num_components; ++c) {
+    std::vector<Vertex> members(cc.members.begin() + cc.offsets[c],
+                                cc.members.begin() + cc.offsets[c + 1]);
+    std::vector<Vertex> old_to_new;
+    const Graph sub = g.InducedSubgraph(members, &old_to_new);
+    const MisSolution part = algo(sub);
+    for (Vertex m : members) {
+      if (part.in_set[old_to_new[m]]) merged.in_set[m] = 1;
+    }
+    merged.size += part.size;
+    merged.peeled += part.peeled;
+    merged.residual_peeled += part.residual_peeled;
+    merged.kernel_vertices += part.kernel_vertices;
+    merged.kernel_edges += part.kernel_edges;
+    merged.provably_maximum = merged.provably_maximum && part.provably_maximum;
+    AddCounters(part.rules, &merged.rules);
+  }
+  return merged;
+}
+
+}  // namespace rpmis

@@ -1,0 +1,39 @@
+#include "mis/solution.h"
+
+namespace rpmis {
+
+uint64_t ExtendToMaximal(const Graph& g, std::vector<uint8_t>& in_set) {
+  RPMIS_ASSERT(in_set.size() == g.NumVertices());
+  uint64_t added = 0;
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    if (in_set[v]) continue;
+    bool blocked = false;
+    for (Vertex w : g.Neighbors(v)) {
+      if (in_set[w]) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) {
+      in_set[v] = 1;
+      ++added;
+    }
+  }
+  return added;
+}
+
+uint64_t ReplayDeferredStack(std::span<const DeferredDecision> stack,
+                             std::vector<uint8_t>& in_set) {
+  uint64_t added = 0;
+  for (size_t i = stack.size(); i-- > 0;) {
+    const DeferredDecision& d = stack[i];
+    if (in_set[d.v]) continue;
+    if (!in_set[d.nb1] && !in_set[d.nb2]) {
+      in_set[d.v] = 1;
+      ++added;
+    }
+  }
+  return added;
+}
+
+}  // namespace rpmis

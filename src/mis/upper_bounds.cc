@@ -1,0 +1,120 @@
+#include "mis/upper_bounds.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "mis/lp_reduction.h"
+#include "support/fast_set.h"
+
+namespace rpmis {
+
+uint64_t CliqueCoverBound(const Graph& g) {
+  const Vertex n = g.NumVertices();
+  if (n == 0) return 0;
+  const CoreDecomposition cores = ComputeCores(g);
+  // clique_of[v]: assignment; cliques stored as member lists.
+  std::vector<std::vector<Vertex>> cliques;
+  std::vector<uint32_t> clique_of(n, ~0u);
+  FastSet mark(n);
+  // Degeneracy order keeps candidate cliques small and local.
+  for (Vertex v : cores.order) {
+    mark.Clear();
+    for (Vertex w : g.Neighbors(v)) mark.Insert(w);
+    // Candidate cliques: those of already-placed neighbours.
+    uint32_t chosen = ~0u;
+    for (Vertex w : g.Neighbors(v)) {
+      const uint32_t c = clique_of[w];
+      if (c == ~0u) continue;
+      bool all_adjacent = true;
+      for (Vertex member : cliques[c]) {
+        if (!mark.Contains(member)) {
+          all_adjacent = false;
+          break;
+        }
+      }
+      if (all_adjacent) {
+        chosen = c;
+        break;
+      }
+    }
+    if (chosen == ~0u) {
+      chosen = static_cast<uint32_t>(cliques.size());
+      cliques.emplace_back();
+    }
+    cliques[chosen].push_back(v);
+    clique_of[v] = chosen;
+  }
+  return cliques.size();
+}
+
+uint64_t LpUpperBound(const Graph& g) {
+  return SolveLpReduction(g).Bound(g.NumVertices());
+}
+
+uint64_t CycleCoverBound(const Graph& g) {
+  const Vertex n = g.NumVertices();
+  std::vector<uint8_t> used(n, 0);     // consumed by a harvested cycle
+  std::vector<uint8_t> visited(n, 0);  // entered by the DFS forest
+  std::vector<uint8_t> on_path(n, 0);
+  std::vector<Vertex> parent(n, kInvalidVertex);
+  uint64_t bound = 0;
+  uint64_t covered = 0;
+
+  // One DFS forest pass; each back edge to an on-path ancestor offers a
+  // cycle, harvested greedily when all its vertices are still unused.
+  std::vector<std::pair<Vertex, size_t>> stack;
+  std::vector<Vertex> path;
+  for (Vertex root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    visited[root] = 1;
+    on_path[root] = 1;
+    stack.assign(1, {root, 0});
+    path.assign(1, root);
+    while (!stack.empty()) {
+      auto& [v, idx] = stack.back();
+      auto nb = g.Neighbors(v);
+      if (idx == nb.size()) {
+        on_path[v] = 0;
+        path.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      const Vertex w = nb[idx++];
+      if (w == parent[v]) continue;
+      if (on_path[w]) {
+        // Candidate cycle: path suffix w .. v.
+        size_t start = path.size();
+        while (start > 0 && path[start - 1] != w) --start;
+        RPMIS_DASSERT(start > 0);
+        --start;  // index of w
+        const size_t len = path.size() - start;
+        bool all_unused = len >= 3;
+        for (size_t i = start; i < path.size() && all_unused; ++i) {
+          all_unused = !used[path[i]];
+        }
+        if (all_unused) {
+          bound += len / 2;
+          covered += len;
+          for (size_t i = start; i < path.size(); ++i) used[path[i]] = 1;
+        }
+        continue;
+      }
+      if (visited[w]) continue;
+      visited[w] = 1;
+      on_path[w] = 1;
+      parent[w] = v;
+      stack.emplace_back(w, 0);
+      path.push_back(w);
+    }
+  }
+  return bound + (n - covered);
+}
+
+uint64_t BestExistingUpperBound(const Graph& g) {
+  const uint64_t clique = CliqueCoverBound(g);
+  const uint64_t lp = LpUpperBound(g);
+  const uint64_t cycle = CycleCoverBound(g);
+  return std::min({clique, lp, cycle});
+}
+
+}  // namespace rpmis

@@ -1,0 +1,36 @@
+// Upper bounds on the independence number (Table 7, and the exact
+// solver's pruning bound).
+//
+// The paper compares its free Theorem 6.1 bound (|I| + |R|) against "the
+// best existing upper bound in [1]": the minimum of a greedy clique-cover
+// bound, the LP relaxation bound, and a cycle-cover bound, all computed on
+// the input graph.
+#ifndef RPMIS_MIS_UPPER_BOUNDS_H_
+#define RPMIS_MIS_UPPER_BOUNDS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace rpmis {
+
+/// Greedy clique cover: α(G) <= number of cliques in any partition of V
+/// into cliques (each clique contributes at most one IS vertex). Vertices
+/// are processed in degeneracy order and appended to the first compatible
+/// clique.
+uint64_t CliqueCoverBound(const Graph& g);
+
+/// LP relaxation bound via Nemhauser–Trotter / bipartite matching.
+uint64_t LpUpperBound(const Graph& g);
+
+/// Cycle cover bound: a set of vertex-disjoint cycles C_1..C_k plus the
+/// remaining vertices R gives α(G) <= Σ floor(|C_i|/2) + |R|.
+/// Cycles are found greedily by DFS.
+uint64_t CycleCoverBound(const Graph& g);
+
+/// min(clique cover, LP, cycle cover) — the paper's "existing" bound.
+uint64_t BestExistingUpperBound(const Graph& g);
+
+}  // namespace rpmis
+
+#endif  // RPMIS_MIS_UPPER_BOUNDS_H_

@@ -1,0 +1,48 @@
+#include "mis/verify.h"
+
+namespace rpmis {
+
+bool IsIndependentSet(const Graph& g, const std::vector<uint8_t>& in_set) {
+  if (in_set.size() != g.NumVertices()) return false;
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    if (!in_set[v]) continue;
+    for (Vertex w : g.Neighbors(v)) {
+      if (in_set[w]) return false;
+    }
+  }
+  return true;
+}
+
+bool IsMaximalIndependentSet(const Graph& g, const std::vector<uint8_t>& in_set) {
+  if (!IsIndependentSet(g, in_set)) return false;
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    if (in_set[v]) continue;
+    bool blocked = false;
+    for (Vertex w : g.Neighbors(v)) {
+      if (in_set[w]) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) return false;
+  }
+  return true;
+}
+
+bool IsVertexCover(const Graph& g, const std::vector<uint8_t>& in_cover) {
+  if (in_cover.size() != g.NumVertices()) return false;
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    for (Vertex w : g.Neighbors(v)) {
+      if (v < w && !in_cover[v] && !in_cover[w]) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<uint8_t> Complement(const std::vector<uint8_t>& selector) {
+  std::vector<uint8_t> out(selector.size());
+  for (size_t i = 0; i < selector.size(); ++i) out[i] = selector[i] ? 0 : 1;
+  return out;
+}
+
+}  // namespace rpmis

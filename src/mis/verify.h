@@ -1,0 +1,30 @@
+// Solution checkers: independence, maximality, vertex-cover duality.
+//
+// Every test and every benchmark run validates its solutions through these
+// before reporting a size; a heuristic that returns an invalid set must
+// fail loudly, not score well.
+#ifndef RPMIS_MIS_VERIFY_H_
+#define RPMIS_MIS_VERIFY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rpmis {
+
+/// True iff no edge of g has both endpoints selected.
+bool IsIndependentSet(const Graph& g, const std::vector<uint8_t>& in_set);
+
+/// True iff `in_set` is independent and no vertex can be added.
+bool IsMaximalIndependentSet(const Graph& g, const std::vector<uint8_t>& in_set);
+
+/// True iff every edge of g has at least one endpoint selected.
+bool IsVertexCover(const Graph& g, const std::vector<uint8_t>& in_cover);
+
+/// The complement selector (I <-> V \ I), for the MIS/MVC duality of §2.
+std::vector<uint8_t> Complement(const std::vector<uint8_t>& selector);
+
+}  // namespace rpmis
+
+#endif  // RPMIS_MIS_VERIFY_H_

@@ -1,0 +1,44 @@
+// Checked assertions for rpmis.
+//
+// RPMIS_ASSERT is active in all build types (unlike <cassert>): graph
+// algorithms in this library maintain intricate incremental invariants
+// (degree counters, triangle counts, bucket positions) and silent
+// corruption is far more expensive than the branch. The macro compiles to
+// a single predictable branch; hot inner loops that have been profiled may
+// use RPMIS_DASSERT, which is compiled out in release builds.
+#ifndef RPMIS_SUPPORT_ASSERT_H_
+#define RPMIS_SUPPORT_ASSERT_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rpmis {
+
+[[noreturn]] inline void AssertFail(const char* expr, const char* file,
+                                    int line, const char* msg) {
+  std::fprintf(stderr, "rpmis assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace rpmis
+
+#define RPMIS_ASSERT(expr)                                        \
+  do {                                                            \
+    if (!(expr)) ::rpmis::AssertFail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define RPMIS_ASSERT_MSG(expr, msg)                            \
+  do {                                                         \
+    if (!(expr)) ::rpmis::AssertFail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifndef NDEBUG
+#define RPMIS_DASSERT(expr) RPMIS_ASSERT(expr)
+#else
+#define RPMIS_DASSERT(expr) \
+  do {                      \
+  } while (0)
+#endif
+
+#endif  // RPMIS_SUPPORT_ASSERT_H_

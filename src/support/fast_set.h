@@ -1,0 +1,61 @@
+// Timestamped membership set with O(1) clear.
+//
+// Reduction rules repeatedly need "mark the neighbourhood of u, then probe
+// membership" (dominance checks, neighbourhood intersections, two-hop
+// scans). Clearing a std::vector<bool> between probes would be O(n); the
+// classic timestamp trick makes Clear() a single increment. The library
+// uses this structure pervasively, so it lives in support/.
+#ifndef RPMIS_SUPPORT_FAST_SET_H_
+#define RPMIS_SUPPORT_FAST_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.h"
+
+namespace rpmis {
+
+/// Set over the universe [0, n) with O(1) Clear().
+class FastSet {
+ public:
+  FastSet() = default;
+  explicit FastSet(size_t n) : stamp_(n, 0), current_(1) {}
+
+  void Resize(size_t n) {
+    stamp_.assign(n, 0);
+    current_ = 1;
+  }
+
+  size_t Universe() const { return stamp_.size(); }
+
+  void Clear() {
+    ++current_;
+    if (current_ == 0) {  // wrapped; reset stamps (practically unreachable)
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      current_ = 1;
+    }
+  }
+
+  void Insert(uint32_t x) {
+    RPMIS_DASSERT(x < stamp_.size());
+    stamp_[x] = current_;
+  }
+
+  void Erase(uint32_t x) {
+    RPMIS_DASSERT(x < stamp_.size());
+    stamp_[x] = 0;
+  }
+
+  bool Contains(uint32_t x) const {
+    RPMIS_DASSERT(x < stamp_.size());
+    return stamp_[x] == current_;
+  }
+
+ private:
+  std::vector<uint64_t> stamp_;
+  uint64_t current_ = 1;
+};
+
+}  // namespace rpmis
+
+#endif  // RPMIS_SUPPORT_FAST_SET_H_

@@ -1,0 +1,30 @@
+// Wall-clock timing used by the benchmark harness and local search budgets.
+#ifndef RPMIS_SUPPORT_TIMER_H_
+#define RPMIS_SUPPORT_TIMER_H_
+
+#include <chrono>
+
+namespace rpmis {
+
+/// Monotonic wall-clock timer with microsecond resolution.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rpmis
+
+#endif  // RPMIS_SUPPORT_TIMER_H_

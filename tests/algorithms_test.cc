@@ -1,0 +1,150 @@
+#include "graph/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace rpmis {
+namespace {
+
+TEST(ConnectedComponentsTest, CountsComponents) {
+  // Two triangles plus an isolated vertex.
+  Graph g = Graph::FromEdges(
+      7, std::vector<Edge>{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+  ComponentInfo cc = ConnectedComponents(g);
+  EXPECT_EQ(cc.num_components, 3u);
+  EXPECT_EQ(cc.component_id[0], cc.component_id[2]);
+  EXPECT_NE(cc.component_id[0], cc.component_id[3]);
+  EXPECT_EQ(cc.members.size(), 7u);
+  EXPECT_EQ(cc.offsets.back(), 7u);
+  // Members of each component carry that component's id.
+  for (Vertex c = 0; c < cc.num_components; ++c) {
+    for (uint64_t i = cc.offsets[c]; i < cc.offsets[c + 1]; ++i) {
+      EXPECT_EQ(cc.component_id[cc.members[i]], c);
+    }
+  }
+}
+
+TEST(ConnectedComponentsTest, SingleComponent) {
+  Graph g = CycleGraph(10);
+  EXPECT_EQ(ConnectedComponents(g).num_components, 1u);
+}
+
+TEST(ReverseEdgeIndexTest, MirrorsAreInvolution) {
+  Graph g = ErdosRenyiGnm(40, 120, /*seed=*/5);
+  auto rev = ReverseEdgeIndex(g);
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    for (uint64_t e = g.EdgeBegin(v); e < g.EdgeEnd(v); ++e) {
+      const uint32_t r = rev[e];
+      EXPECT_EQ(rev[r], e);
+      EXPECT_EQ(g.EdgeTarget(r), v);
+    }
+  }
+}
+
+TEST(TriangleCountsTest, TriangleGraph) {
+  Graph g = CompleteGraph(3);
+  auto delta = EdgeTriangleCounts(g);
+  for (uint32_t d : delta) EXPECT_EQ(d, 1u);
+  EXPECT_EQ(CountTriangles(g), 1u);
+}
+
+TEST(TriangleCountsTest, CompleteGraphCounts) {
+  // K5: every edge is in 3 triangles; total C(5,3) = 10.
+  Graph g = CompleteGraph(5);
+  auto delta = EdgeTriangleCounts(g);
+  for (uint32_t d : delta) EXPECT_EQ(d, 3u);
+  EXPECT_EQ(CountTriangles(g), 10u);
+}
+
+TEST(TriangleCountsTest, TriangleFreeGraph) {
+  Graph g = CompleteBipartite(4, 5);
+  EXPECT_EQ(CountTriangles(g), 0u);
+  Graph p = PathGraph(20);
+  EXPECT_EQ(CountTriangles(p), 0u);
+}
+
+TEST(TriangleCountsTest, MatchesBruteForceOnRandomGraph) {
+  Graph g = ErdosRenyiGnm(30, 120, /*seed=*/11);
+  auto delta = EdgeTriangleCounts(g);
+  for (Vertex u = 0; u < g.NumVertices(); ++u) {
+    auto un = g.Neighbors(u);
+    for (size_t i = 0; i < un.size(); ++i) {
+      const Vertex v = un[i];
+      uint32_t expect = 0;
+      for (Vertex w : un) {
+        if (w != v && g.HasEdge(w, v)) ++expect;
+      }
+      EXPECT_EQ(delta[g.EdgeBegin(u) + i], expect) << u << "-" << v;
+    }
+  }
+}
+
+TEST(CoreDecompositionTest, CliqueCores) {
+  Graph g = CompleteGraph(6);
+  CoreDecomposition cd = ComputeCores(g);
+  EXPECT_EQ(cd.degeneracy, 5u);
+  for (uint32_t c : cd.core) EXPECT_EQ(c, 5u);
+}
+
+TEST(CoreDecompositionTest, TreeIsOneDegenerate) {
+  Graph g = BinaryTree(31);
+  CoreDecomposition cd = ComputeCores(g);
+  EXPECT_EQ(cd.degeneracy, 1u);
+  EXPECT_EQ(cd.order.size(), 31u);
+}
+
+TEST(CoreDecompositionTest, MixedCores) {
+  // Triangle (2-core) with a pendant path (1-core).
+  Graph g = Graph::FromEdges(5, std::vector<Edge>{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}});
+  CoreDecomposition cd = ComputeCores(g);
+  EXPECT_EQ(cd.core[0], 2u);
+  EXPECT_EQ(cd.core[1], 2u);
+  EXPECT_EQ(cd.core[2], 2u);
+  EXPECT_EQ(cd.core[3], 1u);
+  EXPECT_EQ(cd.core[4], 1u);
+}
+
+TEST(DegreeStatsTest, Basic) {
+  Graph g = StarGraph(4);
+  DegreeStats s = ComputeDegreeStats(g);
+  EXPECT_EQ(s.min_degree, 1u);
+  EXPECT_EQ(s.max_degree, 4u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 8.0 / 5.0);
+  EXPECT_EQ(s.num_degree_le2, 4u);
+}
+
+TEST(DegreeHistogramTest, CountsMatch) {
+  Graph g = StarGraph(5);
+  auto h = DegreeHistogram(g);
+  ASSERT_EQ(h.size(), 6u);
+  EXPECT_EQ(h[1], 5u);
+  EXPECT_EQ(h[5], 1u);
+  uint64_t total = 0;
+  for (uint64_t c : h) total += c;
+  EXPECT_EQ(total, g.NumVertices());
+}
+
+TEST(ClusteringTest, Extremes) {
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(CompleteGraph(6)), 1.0);
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(CompleteBipartite(3, 4)), 0.0);
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(PathGraph(5)), 0.0);
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(Graph()), 0.0);
+}
+
+TEST(ClusteringTest, TriangleWithTail) {
+  // Triangle + pendant: 1 triangle, wedges = 1+1+3+0 = 5 -> 3/5.
+  Graph g = Graph::FromEdges(4, std::vector<Edge>{{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(g), 3.0 / 5.0);
+}
+
+TEST(ClusteringTest, PlantedCoreAddsTriangles) {
+  // The global coefficient is dominated by hub wedges, so compare raw
+  // triangle counts: the planted cliques must add a visible surplus.
+  Graph pure = ChungLuPowerLaw(20000, 2.1, 6.0, 3);
+  Graph cored = PowerLawWithCore(20000, 2.1, 6.0, 4000, 6.0, 3);
+  EXPECT_GT(CountTriangles(cored), CountTriangles(pure) + 500);
+}
+
+}  // namespace
+}  // namespace rpmis

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "benchkit/datasets.h"
+#include "benchkit/run.h"
+#include "benchkit/table.h"
+#include "graph/algorithms.h"
+#include "mis/near_linear.h"
+
+namespace rpmis {
+namespace {
+
+TEST(DatasetsTest, SuiteShape) {
+  EXPECT_EQ(AllDatasets().size(), 20u);
+  EXPECT_EQ(EasyDatasets().size(), 12u);
+  EXPECT_EQ(HardDatasets().size(), 8u);
+  EXPECT_EQ(DatasetByName("GrQc").paper_n, 5242u);
+  EXPECT_TRUE(DatasetByName("it-2004").hard);
+}
+
+TEST(DatasetsTest, GeneratorsAreDeterministic) {
+  const auto& spec = DatasetByName("GrQc");
+  Graph a = spec.make();
+  Graph b = spec.make();
+  EXPECT_EQ(a.CollectEdges(), b.CollectEdges());
+}
+
+TEST(DatasetsTest, EasyInstancesArePowerLawLike) {
+  // The reducing-peeling premise: plenty of degree-<=2 vertices.
+  for (const auto& spec : EasyDatasets()) {
+    Graph g = spec.make();
+    DegreeStats s = ComputeDegreeStats(g);
+    EXPECT_GT(static_cast<double>(s.num_degree_le2), 0.05 * g.NumVertices())
+        << spec.name;
+    EXPECT_GT(s.max_degree, 4 * s.avg_degree) << spec.name;
+  }
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"Graph", "n", "m"});
+  t.AddRow({"GrQc", "5,242", "14,484"});
+  t.AddRow({"x", "1", "2"});
+  std::ostringstream out;
+  t.Print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("| Graph"), std::string::npos);
+  EXPECT_NE(s.find("5,242"), std::string::npos);
+  // All lines the same length.
+  std::istringstream lines(s);
+  std::string line, first;
+  std::getline(lines, first);
+  while (std::getline(lines, line)) EXPECT_EQ(line.size(), first.size());
+}
+
+TEST(FormattersTest, Counts) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(1234567), "1,234,567");
+}
+
+TEST(FormattersTest, SecondsAndKb) {
+  EXPECT_EQ(FormatSeconds(0.5), "500.0ms");
+  EXPECT_EQ(FormatSeconds(2.5), "2.50s");
+  EXPECT_EQ(FormatKb(512), "512KB");
+  EXPECT_EQ(FormatKb(2048), "2.0MB");
+  EXPECT_EQ(FormatPercent(0.99895), "99.895%");
+}
+
+TEST(RunTest, RssReadersWork) {
+  EXPECT_GT(PeakRssKb(), 0u);
+  EXPECT_GT(CurrentRssKb(), 0u);
+}
+
+TEST(RunTest, MeasureInChildReturnsPayload) {
+  ChildMeasurement m = MeasureInChild([](uint64_t payload[4]) {
+    // Allocate ~8MB so the RSS delta is visible.
+    std::vector<uint64_t> big(1 << 20, 1);
+    payload[0] = big[123] + 41;
+    payload[1] = 7;
+  });
+  ASSERT_TRUE(m.ok);
+  EXPECT_EQ(m.payload[0], 42u);
+  EXPECT_EQ(m.payload[1], 7u);
+  EXPECT_GE(m.seconds, 0.0);
+  EXPECT_GT(m.peak_rss_delta_kb, 1000u);
+}
+
+TEST(DatasetsTest, HardInstancesResistKernelization) {
+  // The defining property of the hard suite: a surviving kernel at the
+  // first peel, so local search has real work (Figures 10/15).
+  const DatasetSpec& spec = DatasetByName("cnr-2000");
+  Graph g = spec.make();
+  MisSolution nl = RunNearLinear(g);
+  EXPECT_GT(nl.kernel_vertices, 1000u);
+  EXPECT_GT(nl.rules.peels, 0u);
+  EXPECT_FALSE(nl.provably_maximum);
+}
+
+}  // namespace
+}  // namespace rpmis

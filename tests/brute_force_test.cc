@@ -1,0 +1,47 @@
+#include "exact/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "mis/verify.h"
+#include "test_util.h"
+
+namespace rpmis {
+namespace {
+
+TEST(BruteForceTest, KnownAlphas) {
+  EXPECT_EQ(BruteForceAlpha(PathGraph(1)), 1u);
+  EXPECT_EQ(BruteForceAlpha(PathGraph(7)), 4u);    // ceil(7/2)
+  EXPECT_EQ(BruteForceAlpha(CycleGraph(7)), 3u);   // floor(7/2)
+  EXPECT_EQ(BruteForceAlpha(CycleGraph(8)), 4u);
+  EXPECT_EQ(BruteForceAlpha(CompleteGraph(9)), 1u);
+  EXPECT_EQ(BruteForceAlpha(CompleteBipartite(3, 6)), 6u);
+  EXPECT_EQ(BruteForceAlpha(StarGraph(5)), 5u);
+  EXPECT_EQ(BruteForceAlpha(GridGraph(3, 3)), 5u);
+}
+
+TEST(BruteForceTest, PaperFigureAlphas) {
+  EXPECT_EQ(BruteForceAlpha(testing::PaperFigure1()), 5u);
+  EXPECT_EQ(BruteForceAlpha(testing::PaperFigure2()), 3u);
+  EXPECT_EQ(BruteForceAlpha(testing::PaperFigure5()), 4u);
+}
+
+TEST(BruteForceTest, MisIsValidAndOptimal) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Graph g = ErdosRenyiGnm(18, 36, seed);
+    const uint64_t alpha = BruteForceAlpha(g);
+    auto mis = BruteForceMis(g);
+    EXPECT_TRUE(IsIndependentSet(g, mis));
+    uint64_t size = 0;
+    for (uint8_t f : mis) size += f;
+    EXPECT_EQ(size, alpha);
+  }
+}
+
+TEST(BruteForceTest, EdgelessGraphTakesAll) {
+  Graph g = Graph::FromEdges(12, std::vector<Edge>{});
+  EXPECT_EQ(BruteForceAlpha(g), 12u);
+}
+
+}  // namespace
+}  // namespace rpmis

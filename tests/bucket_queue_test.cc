@@ -1,0 +1,131 @@
+#include "ds/bucket_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "support/random.h"
+
+namespace rpmis {
+namespace {
+
+TEST(BucketQueueTest, InsertPopMinMax) {
+  BucketQueue q(10, 100);
+  q.Insert(0, 5);
+  q.Insert(1, 3);
+  q.Insert(2, 7);
+  EXPECT_EQ(q.Size(), 3u);
+  EXPECT_EQ(q.MinKey(), 3u);
+  EXPECT_EQ(q.MaxKey(), 7u);
+  EXPECT_EQ(q.PopMin(), 1u);
+  EXPECT_EQ(q.PopMax(), 2u);
+  EXPECT_EQ(q.PopMin(), 0u);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(BucketQueueTest, UpdateMovesBetweenBuckets) {
+  BucketQueue q(4, 50);
+  q.Insert(0, 10);
+  q.Insert(1, 20);
+  q.Update(0, 30);  // increase
+  EXPECT_EQ(q.PopMax(), 0u);
+  q.Update(1, 1);  // decrease
+  EXPECT_EQ(q.MinKey(), 1u);
+  EXPECT_EQ(q.PopMin(), 1u);
+}
+
+TEST(BucketQueueTest, RemoveArbitrary) {
+  BucketQueue q(5, 10);
+  for (Vertex v = 0; v < 5; ++v) q.Insert(v, v);
+  q.Remove(2);
+  EXPECT_FALSE(q.Contains(2));
+  EXPECT_EQ(q.Size(), 4u);
+  EXPECT_EQ(q.PopMin(), 0u);
+  EXPECT_EQ(q.PopMax(), 4u);
+}
+
+TEST(BucketQueueTest, FromKeys) {
+  std::vector<uint32_t> keys{4, 1, 4, 2};
+  BucketQueue q = BucketQueue::FromKeys(keys, 4);
+  EXPECT_EQ(q.Size(), 4u);
+  EXPECT_EQ(q.MinKey(), 1u);
+  EXPECT_EQ(q.MaxKey(), 4u);
+}
+
+// Randomized comparison with a multimap-based reference.
+TEST(BucketQueueTest, RandomizedAgainstReference) {
+  const Vertex n = 200;
+  BucketQueue q(n, 300);
+  std::map<Vertex, uint32_t> ref;
+  Rng rng(42);
+  for (int step = 0; step < 4000; ++step) {
+    const int op = static_cast<int>(rng.NextBounded(5));
+    if (op <= 1) {  // insert
+      const Vertex v = static_cast<Vertex>(rng.NextBounded(n));
+      if (ref.count(v)) continue;
+      const uint32_t k = static_cast<uint32_t>(rng.NextBounded(300));
+      q.Insert(v, k);
+      ref[v] = k;
+    } else if (op == 2 && !ref.empty()) {  // update
+      auto it = ref.begin();
+      std::advance(it, rng.NextBounded(ref.size()));
+      const uint32_t k = static_cast<uint32_t>(rng.NextBounded(300));
+      q.Update(it->first, k);
+      it->second = k;
+    } else if (op == 3 && !ref.empty()) {  // pop min
+      const Vertex v = q.PopMin();
+      uint32_t expect = ~0u;
+      for (auto& [vv, kk] : ref) expect = std::min(expect, kk);
+      ASSERT_EQ(ref[v], expect);
+      ref.erase(v);
+    } else if (op == 4 && !ref.empty()) {  // pop max
+      const Vertex v = q.PopMax();
+      uint32_t expect = 0;
+      for (auto& [vv, kk] : ref) expect = std::max(expect, kk);
+      ASSERT_EQ(ref[v], expect);
+      ref.erase(v);
+    }
+    ASSERT_EQ(q.Size(), ref.size());
+  }
+}
+
+TEST(LazyMaxBucketQueueTest, PopsInDecreasingTrueKeyOrder) {
+  // True keys only decrease; the queue is fed stale values.
+  std::vector<uint32_t> keys{5, 9, 3, 9, 7};
+  std::vector<uint8_t> alive(5, 1);
+  std::vector<uint32_t> current = keys;
+  LazyMaxBucketQueue q(keys);
+  current[1] = 4;  // degraded after construction
+  current[3] = 6;
+
+  auto key_fn = [&](Vertex v) { return current[v]; };
+  auto alive_fn = [&](Vertex v) { return alive[v] != 0; };
+  std::vector<Vertex> order;
+  for (int i = 0; i < 5; ++i) order.push_back(q.PopMax(key_fn, alive_fn));
+  // Expected order by current keys: 4 (7), 3 (6), 0 (5), 1 (4), 2 (3).
+  EXPECT_EQ(order, (std::vector<Vertex>{4, 3, 0, 1, 2}));
+  EXPECT_EQ(q.PopMax(key_fn, alive_fn), kInvalidVertex);
+}
+
+TEST(LazyMaxBucketQueueTest, SkipsDeadEntries) {
+  std::vector<uint32_t> keys{1, 2, 3};
+  std::vector<uint8_t> alive{1, 0, 1};
+  LazyMaxBucketQueue q(keys);
+  auto key_fn = [&](Vertex v) { return keys[v]; };
+  auto alive_fn = [&](Vertex v) { return alive[v] != 0; };
+  EXPECT_EQ(q.PopMax(key_fn, alive_fn), 2u);
+  EXPECT_EQ(q.PopMax(key_fn, alive_fn), 0u);
+  EXPECT_EQ(q.PopMax(key_fn, alive_fn), kInvalidVertex);
+}
+
+TEST(LazyMaxBucketQueueTest, EmptyUniverse) {
+  std::vector<uint32_t> keys;
+  LazyMaxBucketQueue q(keys);
+  auto key_fn = [](Vertex) { return 0u; };
+  auto alive_fn = [](Vertex) { return true; };
+  EXPECT_EQ(q.PopMax(key_fn, alive_fn), kInvalidVertex);
+}
+
+}  // namespace
+}  // namespace rpmis

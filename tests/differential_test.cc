@@ -1,0 +1,130 @@
+// Cross-algorithm differential tests at scales beyond brute force: every
+// algorithm's size must sit inside the envelope defined by the others'
+// certificates and upper bounds, and the paper's quality ordering must
+// hold in aggregate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/du.h"
+#include "baselines/greedy.h"
+#include "baselines/semi_external.h"
+#include "exact/vc_solver.h"
+#include "graph/generators.h"
+#include "localsearch/arw.h"
+#include "mis/bdone.h"
+#include "mis/bdtwo.h"
+#include "mis/linear_time.h"
+#include "mis/near_linear.h"
+#include "mis/upper_bounds.h"
+#include "mis/verify.h"
+
+namespace rpmis {
+namespace {
+
+struct AllResults {
+  MisSolution greedy, du, semie, bdone, bdtwo, lt, nl;
+};
+
+AllResults RunAll(const Graph& g) {
+  AllResults r;
+  r.greedy = RunGreedy(g);
+  r.du = RunDU(g);
+  r.semie = RunSemiE(g);
+  r.bdone = RunBDOne(g);
+  r.bdtwo = RunBDTwo(g);
+  r.lt = RunLinearTime(g);
+  r.nl = RunNearLinear(g);
+  return r;
+}
+
+TEST(DifferentialTest, CertificatesAgreeAcrossAlgorithms) {
+  // If ANY algorithm certifies optimality, every other size is <= it and
+  // every Theorem 6.1 / existing upper bound is >= it.
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Graph g = ChungLuPowerLaw(20000, 2.0 + 0.1 * seed, 4.0, seed);
+    AllResults r = RunAll(g);
+    const MisSolution* all[] = {&r.greedy, &r.du,    &r.semie, &r.bdone,
+                                &r.bdtwo,  &r.lt,    &r.nl};
+    uint64_t certified = 0;
+    for (const MisSolution* s : all) {
+      if (s->provably_maximum) certified = std::max(certified, s->size);
+    }
+    if (certified == 0) continue;
+    for (const MisSolution* s : all) {
+      EXPECT_LE(s->size, certified) << "seed " << seed;
+    }
+    // Theorem 6.1 bounds only exist for the Reducing-Peeling algorithms
+    // (the baselines never peel and carry no certificate machinery).
+    for (const MisSolution* s : {&r.bdone, &r.bdtwo, &r.lt, &r.nl}) {
+      EXPECT_GE(s->UpperBound(), certified) << "seed " << seed;
+    }
+    EXPECT_GE(BestExistingUpperBound(g), certified);
+  }
+}
+
+TEST(DifferentialTest, QualityOrderingInAggregate) {
+  // Over a batch of power-law instances, the paper's ordering must hold
+  // in total: Greedy < DU <= BDOne <= LinearTime <= max(BDTwo, NearLinear).
+  uint64_t greedy = 0, du = 0, bdone = 0, lt = 0, best_deg2 = 0;
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Graph g = ChungLuPowerLaw(15000, 2.1, 5.0, 1000 + seed);
+    AllResults r = RunAll(g);
+    greedy += r.greedy.size;
+    du += r.du.size;
+    bdone += r.bdone.size;
+    lt += r.lt.size;
+    best_deg2 += std::max(r.bdtwo.size, r.nl.size);
+  }
+  EXPECT_LT(greedy, du);
+  EXPECT_LE(du, bdone);
+  EXPECT_LE(bdone, lt);
+  EXPECT_LE(lt, best_deg2);
+}
+
+TEST(DifferentialTest, ArwNeverBeatsAnUpperBound) {
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    Graph g = PowerLawWithCore(8000, 2.1, 6.0, 1500, 6.0, seed);
+    MisSolution nl = RunNearLinear(g);
+    ArwOptions o;
+    o.time_limit_seconds = 0.3;
+    o.seed = seed;
+    ArwResult arw = RunArw(g, nl.in_set, o);
+    EXPECT_GE(arw.size, nl.size);
+    EXPECT_LE(arw.size, nl.UpperBound()) << "Theorem 6.1 violated";
+    EXPECT_LE(arw.size, BestExistingUpperBound(g));
+    EXPECT_TRUE(IsMaximalIndependentSet(g, arw.in_set));
+  }
+}
+
+TEST(DifferentialTest, ExactSolverDominatesHeuristicsWhenProven) {
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    Graph g = ErdosRenyiGnm(50000, 55000, seed);
+    VcSolverOptions vo;
+    vo.time_limit_seconds = 20;
+    VcSolverResult ex = SolveExactMis(g, vo);
+    if (!ex.proven_optimal) continue;
+    AllResults r = RunAll(g);
+    for (const MisSolution* s :
+         {&r.greedy, &r.du, &r.semie, &r.bdone, &r.bdtwo, &r.lt, &r.nl}) {
+      EXPECT_LE(s->size, ex.size) << "seed " << seed;
+    }
+    EXPECT_LE(ex.size, r.nl.UpperBound());
+  }
+}
+
+TEST(DifferentialTest, PlantedCoreInstancesResistKernelization) {
+  // The dataset-suite premise: a planted core keeps NearLinear from
+  // certifying, while the pure power-law variant dissolves.
+  Graph pure = ChungLuPowerLaw(30000, 2.1, 6.0, 5);
+  Graph cored = PowerLawWithCore(30000, 2.1, 6.0, 6000, 6.0, 5);
+  MisSolution pure_nl = RunNearLinear(pure);
+  MisSolution cored_nl = RunNearLinear(cored);
+  EXPECT_EQ(pure_nl.kernel_vertices, 0u);
+  EXPECT_GT(cored_nl.kernel_vertices, 500u);
+  EXPECT_GT(cored_nl.rules.peels, 0u);
+  EXPECT_FALSE(cored_nl.provably_maximum);
+}
+
+}  // namespace
+}  // namespace rpmis

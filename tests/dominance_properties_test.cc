@@ -1,0 +1,148 @@
+// Properties of the dominance reduction proven in Appendix A.3:
+//   * Lemma 5.2: v dominates u  iff  delta(v,u) = d(v) - 1;
+//   * the isolated-vertex / degree-one / degree-two-isolation rules are
+//     special cases of dominance;
+//   * Lemma A.1 (order-obliviousness): if v dom u and u dom w, then v dom
+//     w, and still after removing u;
+//   * mutual dominance exists (Figure 14) and removing either side is
+//     exact.
+#include <gtest/gtest.h>
+
+#include "exact/brute_force.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "support/random.h"
+
+namespace rpmis {
+namespace {
+
+// Reference dominance: v dominates u iff (v,u) in E and N(v)\{u} ⊆ N(u).
+bool Dominates(const Graph& g, Vertex v, Vertex u) {
+  if (!g.HasEdge(v, u)) return false;
+  for (Vertex x : g.Neighbors(v)) {
+    if (x != u && !g.HasEdge(x, u)) return false;
+  }
+  return true;
+}
+
+TEST(DominanceTest, Lemma52TriangleCountCharacterization) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Graph g = ErdosRenyiGnm(40, 160, seed);
+    auto delta = EdgeTriangleCounts(g);
+    for (Vertex v = 0; v < g.NumVertices(); ++v) {
+      auto nb = g.Neighbors(v);
+      for (size_t i = 0; i < nb.size(); ++i) {
+        const bool by_counts = delta[g.EdgeBegin(v) + i] == g.Degree(v) - 1;
+        EXPECT_EQ(by_counts, Dominates(g, v, nb[i]))
+            << v << " -> " << nb[i] << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(DominanceTest, CapturesDegreeOneReduction) {
+  // Degree-one u with neighbour v: u dominates v.
+  Graph g = Graph::FromEdges(4, std::vector<Edge>{{0, 1}, {1, 2}, {1, 3}});
+  EXPECT_TRUE(Dominates(g, 0, 1));
+}
+
+TEST(DominanceTest, CapturesIsolatedVertexReduction) {
+  // u whose neighbourhood is a clique (Figure 13(a)): u dominates every
+  // neighbour.
+  Graph g = Graph::FromEdges(
+      5, std::vector<Edge>{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {1, 4}});
+  for (Vertex v : {1u, 2u, 3u}) EXPECT_TRUE(Dominates(g, 0, v));
+}
+
+TEST(DominanceTest, CapturesDegreeTwoIsolation) {
+  // Degree-two u with adjacent neighbours v, w: u dominates both.
+  Graph g = Graph::FromEdges(5, std::vector<Edge>{{0, 1}, {0, 2}, {1, 2},
+                                                  {1, 3}, {2, 4}});
+  EXPECT_TRUE(Dominates(g, 0, 1));
+  EXPECT_TRUE(Dominates(g, 0, 2));
+}
+
+TEST(DominanceTest, DegreeThreeConfigurations) {
+  // Figure 13(b): deg-3 u with a triangle among its neighbours dominates
+  // all three. Figure 13(c): two edges -> u dominates the middle one.
+  Graph b = Graph::FromEdges(
+      6, std::vector<Edge>{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
+                           {1, 4}, {2, 5}});
+  for (Vertex v : {1u, 2u, 3u}) EXPECT_TRUE(Dominates(b, 0, v));
+
+  Graph c = Graph::FromEdges(
+      7, std::vector<Edge>{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {2, 3},
+                           {1, 4}, {3, 5}, {2, 6}});
+  EXPECT_TRUE(Dominates(c, 0, 2));   // the middle neighbour
+  EXPECT_FALSE(Dominates(c, 0, 1));  // the outer ones are not dominated
+  EXPECT_FALSE(Dominates(c, 0, 3));
+}
+
+TEST(DominanceTest, LemmaA1Transitivity) {
+  uint64_t verified = 0;
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    // Dense graphs so chains v dom u dom w actually occur.
+    Graph g = ErdosRenyiGnm(12, 52, seed);
+    for (Vertex v = 0; v < g.NumVertices(); ++v) {
+      for (Vertex u : g.Neighbors(v)) {
+        if (!Dominates(g, v, u)) continue;
+        for (Vertex w : g.Neighbors(u)) {
+          if (w == v || !Dominates(g, u, w)) continue;
+          // Lemma A.1: v must dominate w...
+          EXPECT_TRUE(Dominates(g, v, w)) << v << "," << u << "," << w;
+          // ...and still after removing u.
+          std::vector<Vertex> rest;
+          std::vector<Vertex> map;
+          for (Vertex x = 0; x < g.NumVertices(); ++x) {
+            if (x != u) rest.push_back(x);
+          }
+          Graph without = g.InducedSubgraph(rest, &map);
+          EXPECT_TRUE(Dominates(without, map[v], map[w]));
+          ++verified;
+        }
+      }
+    }
+  }
+  EXPECT_GT(verified, 5u) << "fixture too sparse to exercise the lemma";
+}
+
+TEST(DominanceTest, MutualDominanceIsExactEitherWay) {
+  // Figure 14 shape: twins u, v adjacent with identical closed
+  // neighbourhoods dominate each other; removing either preserves alpha.
+  Graph g = Graph::FromEdges(
+      6, std::vector<Edge>{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 4}, {3, 5}});
+  ASSERT_TRUE(Dominates(g, 0, 1));
+  ASSERT_TRUE(Dominates(g, 1, 0));
+  const uint64_t alpha = BruteForceAlpha(g);
+  for (Vertex drop : {0u, 1u}) {
+    std::vector<Vertex> rest;
+    for (Vertex x = 0; x < g.NumVertices(); ++x) {
+      if (x != drop) rest.push_back(x);
+    }
+    EXPECT_EQ(BruteForceAlpha(g.InducedSubgraph(rest)), alpha);
+  }
+}
+
+TEST(DominanceTest, RemovingDominatedPreservesAlpha) {
+  // Property form of Lemma 5.1 on random graphs.
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Graph g = ErdosRenyiGnm(20, 70, seed);
+    const uint64_t alpha = BruteForceAlpha(g);
+    for (Vertex u = 0; u < g.NumVertices(); ++u) {
+      bool dominated = false;
+      for (Vertex v : g.Neighbors(u)) {
+        if (Dominates(g, v, u)) dominated = true;
+      }
+      if (!dominated) continue;
+      std::vector<Vertex> rest;
+      for (Vertex x = 0; x < g.NumVertices(); ++x) {
+        if (x != u) rest.push_back(x);
+      }
+      EXPECT_EQ(BruteForceAlpha(g.InducedSubgraph(rest)), alpha)
+          << "removing dominated " << u << " changed alpha, seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rpmis

@@ -1,0 +1,103 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+
+namespace rpmis {
+namespace {
+
+TEST(GeneratorsTest, DeterministicFixtures) {
+  EXPECT_EQ(PathGraph(10).NumEdges(), 9u);
+  EXPECT_EQ(CycleGraph(10).NumEdges(), 10u);
+  EXPECT_EQ(CompleteGraph(6).NumEdges(), 15u);
+  EXPECT_EQ(CompleteBipartite(3, 4).NumEdges(), 12u);
+  EXPECT_EQ(StarGraph(7).NumEdges(), 7u);
+  EXPECT_EQ(GridGraph(4, 5).NumEdges(), 4u * 4 + 5u * 3);
+  EXPECT_EQ(BinaryTree(15).NumEdges(), 14u);
+}
+
+TEST(GeneratorsTest, GnmExactEdgeCount) {
+  Graph g = ErdosRenyiGnm(100, 250, /*seed=*/1);
+  EXPECT_EQ(g.NumVertices(), 100u);
+  EXPECT_EQ(g.NumEdges(), 250u);
+}
+
+TEST(GeneratorsTest, GnmIsDeterministicPerSeed) {
+  Graph a = ErdosRenyiGnm(50, 100, 7);
+  Graph b = ErdosRenyiGnm(50, 100, 7);
+  Graph c = ErdosRenyiGnm(50, 100, 8);
+  EXPECT_EQ(a.CollectEdges(), b.CollectEdges());
+  EXPECT_NE(a.CollectEdges(), c.CollectEdges());
+}
+
+TEST(GeneratorsTest, GnmCapsAtCompleteGraph) {
+  Graph g = ErdosRenyiGnm(5, 1000, 1);
+  EXPECT_EQ(g.NumEdges(), 10u);
+}
+
+TEST(GeneratorsTest, GnpExpectedDensity) {
+  const Vertex n = 400;
+  const double p = 0.01;
+  Graph g = ErdosRenyiGnp(n, p, /*seed=*/3);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_GT(g.NumEdges(), expected * 0.7);
+  EXPECT_LT(g.NumEdges(), expected * 1.3);
+}
+
+TEST(GeneratorsTest, GnpEdgesAreValid) {
+  Graph g = ErdosRenyiGnp(50, 0.05, 9);
+  for (const auto& [u, v] : g.CollectEdges()) {
+    EXPECT_LT(u, v);
+    EXPECT_LT(v, 50u);
+  }
+}
+
+TEST(GeneratorsTest, ChungLuHitsTargetAverageDegree) {
+  Graph g = ChungLuPowerLaw(20000, /*beta=*/2.2, /*avg_degree=*/8.0, /*seed=*/4);
+  EXPECT_GT(g.AverageDegree(), 5.0);
+  EXPECT_LT(g.AverageDegree(), 11.0);
+}
+
+TEST(GeneratorsTest, ChungLuIsPowerLawShaped) {
+  // A power-law graph has many low-degree vertices and a heavy tail: the
+  // share of degree-<=2 vertices should dominate, and the max degree
+  // should far exceed the average.
+  Graph g = ChungLuPowerLaw(20000, 2.0, 6.0, /*seed=*/5);
+  DegreeStats s = ComputeDegreeStats(g);
+  EXPECT_GT(static_cast<double>(s.num_degree_le2), 0.2 * g.NumVertices());
+  EXPECT_GT(s.max_degree, 10 * s.avg_degree);
+}
+
+TEST(GeneratorsTest, BarabasiAlbertDegrees) {
+  Graph g = BarabasiAlbert(2000, 3, /*seed=*/6);
+  EXPECT_EQ(g.NumVertices(), 2000u);
+  // Each of the n - m0 - 1 arrivals adds m edges (some may collapse).
+  EXPECT_GT(g.NumEdges(), 5000u);
+  EXPECT_LE(g.NumEdges(), 3u * 2000u);
+  // Preferential attachment yields a hub far above the average degree.
+  EXPECT_GT(g.MaxDegree(), 30u);
+}
+
+TEST(GeneratorsTest, RMatShape) {
+  Graph g = RMat(12, 40000, 0.57, 0.19, 0.19, /*seed=*/8);
+  EXPECT_EQ(g.NumVertices(), 4096u);
+  EXPECT_GT(g.NumEdges(), 20000u);  // duplicates collapse
+  EXPECT_GT(g.MaxDegree(), 5 * g.AverageDegree());
+}
+
+TEST(GeneratorsTest, Theorem31GadgetShape) {
+  // From the Theorem 3.1 proof: with third-layer width k the gadget has
+  // 2 + 2k + k + (k-1) vertices and (17/2)k - 3 edges.
+  for (Vertex k : {4u, 8u, 16u, 64u}) {
+    Graph g = Theorem31Gadget(k);
+    EXPECT_EQ(g.NumVertices(), 4 * k + 1) << k;
+    EXPECT_EQ(g.NumEdges(), 17 * k / 2 - 3) << k;
+    // Round-1 triggers have degree 2; nothing has degree 1.
+    DegreeStats s = ComputeDegreeStats(g);
+    EXPECT_EQ(s.min_degree, 2u);
+  }
+}
+
+}  // namespace
+}  // namespace rpmis

@@ -1,0 +1,106 @@
+#include "mis/io_efficient.h"
+
+#include <gtest/gtest.h>
+
+#include "exact/brute_force.h"
+#include "graph/generators.h"
+#include "mis/bdone.h"
+#include "mis/verify.h"
+#include "test_util.h"
+
+namespace rpmis {
+namespace {
+
+IoEfficientResult RunInMemory(const Graph& g) {
+  InMemoryEdgeStream stream(g);
+  return RunIoEfficientBDOne(g.NumVertices(), stream);
+}
+
+TEST(IoEfficientTest, ValidMaximalOnFixtures) {
+  for (const Graph& g :
+       {PathGraph(10), CycleGraph(9), StarGraph(6), CompleteGraph(5),
+        GridGraph(4, 4), BinaryTree(31), testing::PaperFigure1(),
+        testing::PaperFigure2(), testing::PaperFigure5()}) {
+    IoEfficientResult r = RunInMemory(g);
+    EXPECT_TRUE(IsMaximalIndependentSet(g, r.solution.in_set));
+    if (g.NumVertices() <= 40) {
+      EXPECT_LE(r.solution.size, BruteForceAlpha(g));
+      EXPECT_GE(r.solution.UpperBound(), BruteForceAlpha(g));
+    }
+  }
+}
+
+TEST(IoEfficientTest, SolvesForestsExactlyWithCertificate) {
+  Graph g = BinaryTree(127);
+  IoEfficientResult r = RunInMemory(g);
+  EXPECT_EQ(r.solution.rules.peels, 0u);
+  EXPECT_TRUE(r.solution.provably_maximum);
+  // In-memory BDOne also certifies forests; two certificates must agree.
+  MisSolution mem = RunBDOne(g);
+  ASSERT_TRUE(mem.provably_maximum);
+  EXPECT_EQ(r.solution.size, mem.size);
+}
+
+TEST(IoEfficientTest, MatchesBDOneQualityModelOnPowerLaw) {
+  // Streaming BDOne applies the same rules as in-memory BDOne, so sizes
+  // land within a whisker (ordering differences only).
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Graph g = ChungLuPowerLaw(20000, 2.1, 4.0, seed);
+    IoEfficientResult r = RunInMemory(g);
+    MisSolution mem = RunBDOne(g);
+    EXPECT_TRUE(IsMaximalIndependentSet(g, r.solution.in_set));
+    const double ratio =
+        static_cast<double>(r.solution.size) / static_cast<double>(mem.size);
+    EXPECT_GT(ratio, 0.995) << "seed " << seed;
+    EXPECT_LT(ratio, 1.005) << "seed " << seed;
+  }
+}
+
+TEST(IoEfficientTest, PassCountsAreModest) {
+  // The semi-external model's cost is passes * m; on power-law inputs the
+  // cascade depth stays manageable.
+  Graph g = ChungLuPowerLaw(30000, 2.1, 4.0, /*seed=*/9);
+  IoEfficientResult r = RunInMemory(g);
+  EXPECT_GT(r.reduction_passes, 1u);
+  EXPECT_LT(r.reduction_passes, 2000u);
+  EXPECT_LT(r.extension_passes, 50u);
+}
+
+TEST(IoEfficientTest, FileStreamMatchesInMemoryStream) {
+  Graph g = ErdosRenyiGnm(500, 1000, /*seed=*/4);
+  const std::string path = ::testing::TempDir() + "/rpmis_stream_test.bin";
+  WriteEdgeStreamFile(g, path);
+  FileEdgeStream file_stream(path);
+  IoEfficientResult from_file = RunIoEfficientBDOne(g.NumVertices(), file_stream);
+  IoEfficientResult from_mem = RunInMemory(g);
+  EXPECT_EQ(from_file.solution.in_set, from_mem.solution.in_set);
+  EXPECT_EQ(from_file.reduction_passes, from_mem.reduction_passes);
+}
+
+TEST(IoEfficientTest, FileStreamRejectsMissingFile) {
+  EXPECT_THROW(FileEdgeStream("/nonexistent/rpmis_stream"), std::runtime_error);
+}
+
+TEST(IoEfficientTest, EmptyAndEdgelessGraphs) {
+  Graph empty;
+  InMemoryEdgeStream s0(empty);
+  EXPECT_EQ(RunIoEfficientBDOne(0, s0).solution.size, 0u);
+
+  Graph isolated = Graph::FromEdges(7, std::vector<Edge>{});
+  InMemoryEdgeStream s1(isolated);
+  IoEfficientResult r = RunIoEfficientBDOne(7, s1);
+  EXPECT_EQ(r.solution.size, 7u);
+  EXPECT_TRUE(r.solution.provably_maximum);
+}
+
+TEST(IoEfficientTest, UpperBoundHoldsUnderPeeling) {
+  // A clique forces peeling; Theorem 6.1 must still hold.
+  Graph g = CompleteGraph(12);
+  IoEfficientResult r = RunInMemory(g);
+  EXPECT_EQ(r.solution.size, 1u);
+  EXPECT_GE(r.solution.UpperBound(), 1u);
+  EXPECT_GT(r.solution.rules.peels, 0u);
+}
+
+}  // namespace
+}  // namespace rpmis

@@ -1,0 +1,125 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.h"
+
+namespace rpmis {
+namespace {
+
+TEST(IoTest, ReadEdgeListWithCommentsAndRemapping) {
+  std::istringstream in(
+      "# comment\n"
+      "% another comment\n"
+      "10 20\n"
+      "20 30\n"
+      "\n"
+      "10 30\n");
+  Graph g = ReadEdgeList(in);
+  EXPECT_EQ(g.NumVertices(), 3u);  // ids 10, 20, 30 remapped densely
+  EXPECT_EQ(g.NumEdges(), 3u);
+}
+
+TEST(IoTest, ReadEdgeListRejectsGarbage) {
+  std::istringstream in("1 x\n");
+  EXPECT_THROW(ReadEdgeList(in), std::runtime_error);
+}
+
+TEST(IoTest, EdgeListRoundTrip) {
+  Graph g = ErdosRenyiGnm(30, 60, /*seed=*/2);
+  std::stringstream buf;
+  WriteEdgeList(g, buf);
+  Graph h = ReadEdgeList(buf);
+  EXPECT_EQ(h.NumEdges(), g.NumEdges());
+  // Vertex ids are written in increasing order and remapped in order of
+  // first appearance, which may permute isolated-free graphs; edge count
+  // plus degree multiset is a robust invariant.
+  std::vector<uint32_t> dg, dh;
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    if (g.Degree(v) > 0) dg.push_back(g.Degree(v));
+  }
+  for (Vertex v = 0; v < h.NumVertices(); ++v) dh.push_back(h.Degree(v));
+  std::sort(dg.begin(), dg.end());
+  std::sort(dh.begin(), dh.end());
+  EXPECT_EQ(dg, dh);
+}
+
+TEST(IoTest, DimacsRoundTrip) {
+  Graph g = ErdosRenyiGnm(25, 50, /*seed=*/3);
+  std::stringstream buf;
+  WriteDimacs(g, buf);
+  Graph h = ReadDimacs(buf);
+  EXPECT_EQ(h.NumVertices(), g.NumVertices());
+  EXPECT_EQ(h.CollectEdges(), g.CollectEdges());
+}
+
+TEST(IoTest, DimacsPreservesIsolatedVertices) {
+  Graph g = Graph::FromEdges(5, std::vector<Edge>{{0, 1}});
+  std::stringstream buf;
+  WriteDimacs(g, buf);
+  Graph h = ReadDimacs(buf);
+  EXPECT_EQ(h.NumVertices(), 5u);
+}
+
+TEST(IoTest, DimacsRejectsBadEdges) {
+  std::istringstream in("p edge 3 1\ne 0 2\n");  // 0 is invalid (1-based)
+  EXPECT_THROW(ReadDimacs(in), std::runtime_error);
+  std::istringstream in2("e 1 2\n");  // edge before problem line
+  EXPECT_THROW(ReadDimacs(in2), std::runtime_error);
+}
+
+TEST(IoTest, MetisRoundTrip) {
+  Graph g = ErdosRenyiGnm(20, 40, /*seed=*/4);
+  std::stringstream buf;
+  WriteMetis(g, buf);
+  Graph h = ReadMetis(buf);
+  EXPECT_EQ(h.NumVertices(), g.NumVertices());
+  EXPECT_EQ(h.CollectEdges(), g.CollectEdges());
+}
+
+TEST(IoTest, MetisRejectsTruncated) {
+  std::istringstream in("3 2\n2\n");  // declares 3 vertices, provides 1 line
+  EXPECT_THROW(ReadMetis(in), std::runtime_error);
+}
+
+TEST(IoTest, FileRoundTrip) {
+  Graph g = CycleGraph(12);
+  const std::string path = ::testing::TempDir() + "/rpmis_io_test.txt";
+  WriteEdgeListFile(g, path);
+  Graph h = ReadEdgeListFile(path);
+  EXPECT_EQ(h.NumEdges(), 12u);
+  EXPECT_THROW(ReadEdgeListFile("/nonexistent/rpmis"), std::runtime_error);
+}
+
+TEST(IoTest, BinaryRoundTrip) {
+  Graph g = ErdosRenyiGnm(500, 2000, /*seed=*/12);
+  std::stringstream buf;
+  WriteBinary(g, buf);
+  Graph h = ReadBinary(buf);
+  EXPECT_EQ(h.NumVertices(), g.NumVertices());
+  EXPECT_EQ(h.CollectEdges(), g.CollectEdges());
+}
+
+TEST(IoTest, BinaryRejectsCorruption) {
+  std::istringstream junk("not a graph at all");
+  EXPECT_THROW(ReadBinary(junk), std::runtime_error);
+  Graph g = CycleGraph(6);
+  std::stringstream buf;
+  WriteBinary(g, buf);
+  std::string payload = buf.str();
+  std::istringstream truncated(payload.substr(0, payload.size() / 2));
+  EXPECT_THROW(ReadBinary(truncated), std::runtime_error);
+}
+
+TEST(IoTest, BinaryFileRoundTrip) {
+  Graph g = GridGraph(6, 7);
+  const std::string path = ::testing::TempDir() + "/rpmis_io_test.rpmi";
+  WriteBinaryFile(g, path);
+  Graph h = ReadBinaryFile(path);
+  EXPECT_EQ(h.CollectEdges(), g.CollectEdges());
+}
+
+}  // namespace
+}  // namespace rpmis

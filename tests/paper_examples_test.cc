@@ -1,0 +1,200 @@
+// Re-enactments of every worked example in the paper, pinned to the
+// reconstructed figure graphs in test_util.h.
+#include <gtest/gtest.h>
+
+#include "exact/brute_force.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "mis/bdone.h"
+#include "mis/bdtwo.h"
+#include "mis/linear_time.h"
+#include "mis/near_linear.h"
+#include "mis/verify.h"
+#include "test_util.h"
+
+namespace rpmis {
+namespace {
+
+// §1 / Figure 1: "{v2, v5, v7, v9} is an independent set of size 4, while
+// {v1, v4, v6, v8, v10} is a maximum independent set of size 5."
+TEST(PaperFigure1, StatedSetsAreCorrect) {
+  Graph g = testing::PaperFigure1();
+  std::vector<uint8_t> is4(10, 0);
+  for (Vertex v : {1u, 4u, 6u, 8u}) is4[v] = 1;
+  EXPECT_TRUE(IsIndependentSet(g, is4));
+  std::vector<uint8_t> mis(10, 0);
+  for (Vertex v : {0u, 3u, 5u, 7u, 9u}) mis[v] = 1;
+  EXPECT_TRUE(IsMaximalIndependentSet(g, mis));
+  EXPECT_EQ(BruteForceAlpha(g), 5u);
+  // "{v2, v3, v5, v7, v9} is the minimum vertex cover."
+  EXPECT_TRUE(IsVertexCover(g, Complement(mis)));
+}
+
+// §1: "Thus, BDOne computes the independent set {v1, v5, v7, v10} of
+// size 4" — one below optimum with the paper's peel tie-breaking. Any
+// tie-break yields 4 or 5, and a peel always happens, so BDOne can never
+// CERTIFY a maximum here.
+TEST(PaperFigure1, BDOnePeelsAndCannotCertify) {
+  MisSolution sol = RunBDOne(testing::PaperFigure1());
+  EXPECT_GE(sol.size, 4u);
+  EXPECT_LE(sol.size, 5u);
+  EXPECT_FALSE(sol.provably_maximum);
+  EXPECT_GT(sol.rules.peels, 0u);
+}
+
+// §1: "BDTwo obtains a maximum independent set ... of size 5."
+TEST(PaperFigure1, BDTwoFindsOptimum) {
+  MisSolution sol = RunBDTwo(testing::PaperFigure1());
+  EXPECT_EQ(sol.size, 5u);
+  EXPECT_TRUE(sol.provably_maximum);
+  EXPECT_EQ(sol.rules.peels, 0u);
+}
+
+// §1: "LinearTime also obtains {v1,v4,v6,v8,v10} but runs in linear time."
+TEST(PaperFigure1, LinearTimeFindsOptimum) {
+  MisSolution sol = RunLinearTime(testing::PaperFigure1());
+  EXPECT_EQ(sol.size, 5u);
+  EXPECT_TRUE(sol.provably_maximum);
+  EXPECT_EQ(sol.rules.peels, 0u);
+  EXPECT_GT(sol.rules.degree_two_path, 0u);
+}
+
+// §1 / §5: the modified Figure 1 has minimum degree 3, so no degree-1/2
+// rule applies, yet the dominance reduction removes v9 and the rest is
+// solved by LinearTime-style reductions.
+TEST(PaperFigure1Modified, MinimumDegreeIsThree) {
+  Graph g = testing::PaperFigure1Modified();
+  EXPECT_EQ(ComputeDegreeStats(g).min_degree, 3u);
+}
+
+TEST(PaperFigure1Modified, V9IsDominated) {
+  Graph g = testing::PaperFigure1Modified();
+  // v9 (id 8) is dominated by one of its neighbours:
+  // exists v with delta(v, v9) == d(v) - 1 (Lemma 5.2).
+  auto delta = EdgeTriangleCounts(g);
+  bool dominated = false;
+  for (uint64_t e = g.EdgeBegin(8); e < g.EdgeEnd(8); ++e) {
+    const Vertex v = g.EdgeTarget(e);
+    // Find delta on the mirror (v -> 8); symmetric, so reuse e's value.
+    if (delta[e] == g.Degree(v) - 1) dominated = true;
+  }
+  EXPECT_TRUE(dominated);
+}
+
+TEST(PaperFigure1Modified, NearLinearSolvesExactly) {
+  Graph g = testing::PaperFigure1Modified();
+  MisSolution sol = RunNearLinear(g);
+  EXPECT_EQ(sol.size, BruteForceAlpha(g));
+  EXPECT_TRUE(sol.provably_maximum);
+  EXPECT_EQ(sol.rules.peels, 0u);
+}
+
+TEST(PaperFigure1Modified, DominanceAloneSuffices) {
+  // Without the prepasses, the incremental dominance machinery must still
+  // crack the instance (this is the §5 walkthrough).
+  NearLinearOptions opts;
+  opts.one_pass_dominance = false;
+  opts.lp_reduction = false;
+  Graph g = testing::PaperFigure1Modified();
+  MisSolution sol = RunNearLinear(g, nullptr, opts);
+  EXPECT_EQ(sol.size, BruteForceAlpha(g));
+  EXPECT_EQ(sol.rules.peels, 0u);
+  EXPECT_GT(sol.rules.dominance, 0u);
+}
+
+// §2 / Figure 2: "{v2,v6} is a maximal independent set, {v1,v3,v4} is a
+// maximum independent set, and the independence number is 3."
+TEST(PaperFigure2, StatedSetsAreCorrect) {
+  Graph g = testing::PaperFigure2();
+  std::vector<uint8_t> maximal{0, 1, 0, 0, 0, 1};
+  EXPECT_TRUE(IsMaximalIndependentSet(g, maximal));
+  std::vector<uint8_t> maximum{1, 0, 1, 1, 0, 0};
+  EXPECT_TRUE(IsMaximalIndependentSet(g, maximum));
+  EXPECT_EQ(BruteForceAlpha(g), 3u);
+}
+
+// §3.2 running example: BDOne reaches {v1, v3, v4} (size 3 = optimum; it
+// cannot *certify* it because one peel happened).
+TEST(PaperFigure2, BDOneReachesOptimumWithOnePeel) {
+  MisSolution sol = RunBDOne(testing::PaperFigure2());
+  EXPECT_EQ(sol.size, 3u);
+  EXPECT_EQ(sol.rules.peels, 1u);
+}
+
+// §3.3 running example: BDTwo certifies the optimum with zero peels
+// ("we can report {v1,v3,v4} as a maximum independent set").
+TEST(PaperFigure2, BDTwoCertifiesOptimum) {
+  MisSolution sol = RunBDTwo(testing::PaperFigure2());
+  EXPECT_EQ(sol.size, 3u);
+  EXPECT_TRUE(sol.provably_maximum);
+  EXPECT_EQ(sol.rules.peels, 0u);
+}
+
+// §4 running example (Figure 5): LinearTime finds a maximum IS of size 4;
+// the run exercises path case 1 (v == w) and case 5 (even, rewire).
+TEST(PaperFigure5, LinearTimeFindsOptimum) {
+  Graph g = testing::PaperFigure5();
+  EXPECT_EQ(BruteForceAlpha(g), 4u);
+  MisSolution sol = RunLinearTime(g);
+  EXPECT_EQ(sol.size, 4u);
+  EXPECT_GE(sol.rules.degree_two_path, 2u);
+  // The paper's stated result {v1, v3, v10, v6} is one optimum.
+  std::vector<uint8_t> stated(10, 0);
+  for (Vertex v : {0u, 2u, 9u, 5u}) stated[v] = 1;
+  EXPECT_TRUE(IsMaximalIndependentSet(g, stated));
+}
+
+// Theorem 3.1's adversarial family: BDTwo folds Θ(k log k) times the unit
+// cost while LinearTime stays linear; all algorithms must stay valid and
+// within the Theorem 6.1 envelope.
+TEST(Theorem31Family, AlgorithmsStayWithinBounds) {
+  Graph g = Theorem31Gadget(8);  // 33 vertices: brute-forceable
+  const uint64_t alpha = BruteForceAlpha(g);
+  for (const MisSolution& sol :
+       {RunBDTwo(g), RunLinearTime(g), RunNearLinear(g)}) {
+    EXPECT_TRUE(IsMaximalIndependentSet(g, sol.in_set));
+    EXPECT_LE(sol.size, alpha);
+    EXPECT_GE(sol.UpperBound(), alpha);
+  }
+}
+
+TEST(Theorem31Family, TriggersManyFolds) {
+  Graph g = Theorem31Gadget(64);
+  MisSolution sol = RunBDTwo(g);
+  // Every trigger vertex causes one fold: k-1 = 63 of them, minus any that
+  // resolve otherwise; require at least k/2.
+  EXPECT_GE(sol.rules.degree_two_folding, 32u);
+}
+
+// Lemma 2.1 / 2.2 micro-checks on the exact shapes of Figure 3.
+TEST(ReductionShapes, DegreeOneShape) {
+  // u - v, v - x, v - y: take u, drop v; alpha = 1 + alpha(G \ {u, v}).
+  Graph g = Graph::FromEdges(4, std::vector<Edge>{{0, 1}, {1, 2}, {1, 3}});
+  MisSolution sol = RunBDOne(g);
+  EXPECT_EQ(sol.size, 3u);  // {u, x, y}
+  EXPECT_TRUE(sol.provably_maximum);
+}
+
+TEST(ReductionShapes, DegreeTwoIsolationShape) {
+  // Triangle u-v-w plus pendants on v and w.
+  Graph g = Graph::FromEdges(
+      6, std::vector<Edge>{{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 4}, {3, 5}});
+  const uint64_t alpha = BruteForceAlpha(g);
+  EXPECT_EQ(RunBDTwo(g).size, alpha);
+  EXPECT_EQ(RunLinearTime(g).size, alpha);
+}
+
+TEST(ReductionShapes, DegreeTwoFoldingShape) {
+  // C4: every vertex is degree-2 with NON-adjacent neighbours, so BDTwo's
+  // very first step must be a fold; the backtracking must then recover the
+  // optimum {opposite pair}.
+  Graph g = CycleGraph(4);
+  MisSolution sol = RunBDTwo(g);
+  EXPECT_EQ(sol.size, 2u);
+  EXPECT_GE(sol.rules.degree_two_folding, 1u);
+  EXPECT_TRUE(sol.provably_maximum);
+  EXPECT_TRUE(IsMaximalIndependentSet(g, sol.in_set));
+}
+
+}  // namespace
+}  // namespace rpmis

@@ -1,0 +1,75 @@
+#include "mis/per_component.h"
+
+#include <gtest/gtest.h>
+
+#include "exact/brute_force.h"
+#include "graph/generators.h"
+#include "mis/bdone.h"
+#include "mis/linear_time.h"
+#include "mis/near_linear.h"
+#include "mis/verify.h"
+
+namespace rpmis {
+namespace {
+
+Graph DisjointUnion() {
+  // Cycle(7) + Path(5) + K5 + two isolated vertices.
+  GraphBuilder b(7 + 5 + 5 + 2);
+  for (Vertex i = 0; i < 7; ++i) b.AddEdge(i, (i + 1) % 7);
+  for (Vertex i = 0; i + 1 < 5; ++i) b.AddEdge(7 + i, 7 + i + 1);
+  for (Vertex i = 0; i < 5; ++i) {
+    for (Vertex j = i + 1; j < 5; ++j) b.AddEdge(12 + i, 12 + j);
+  }
+  return b.Build();
+}
+
+TEST(PerComponentTest, MergesValidSolutions) {
+  Graph g = DisjointUnion();
+  MisSolution sol =
+      RunPerComponent(g, [](const Graph& sub) { return RunLinearTime(sub); });
+  EXPECT_TRUE(IsMaximalIndependentSet(g, sol.in_set));
+  // alpha = 3 (C7) + 3 (P5) + 1 (K5) + 2 isolated = 9.
+  EXPECT_EQ(BruteForceAlpha(g), 9u);
+  EXPECT_LE(sol.size, 9u);
+  EXPECT_GE(sol.UpperBound(), 9u);
+}
+
+TEST(PerComponentTest, CertificateIsConjunction) {
+  // All components reducible => certified; add a K5 (peel needed) and the
+  // certificate must vanish while sizes still merge.
+  GraphBuilder easy(12);
+  for (Vertex i = 0; i + 1 < 6; ++i) easy.AddEdge(i, i + 1);       // path
+  for (Vertex i = 6; i + 1 < 12; ++i) easy.AddEdge(i, i + 1);      // path
+  MisSolution certified = RunPerComponent(
+      easy.Build(), [](const Graph& sub) { return RunLinearTime(sub); });
+  EXPECT_TRUE(certified.provably_maximum);
+
+  MisSolution mixed = RunPerComponent(
+      DisjointUnion(), [](const Graph& sub) { return RunBDOne(sub); });
+  EXPECT_FALSE(mixed.provably_maximum);  // the K5 component peels
+  EXPECT_GT(mixed.rules.peels, 0u);
+}
+
+TEST(PerComponentTest, MatchesWholeGraphRunOnRandomForest) {
+  // Forests: both whole-graph and per-component runs are exact, so sizes
+  // agree; counters add up consistently.
+  Graph g = ErdosRenyiGnm(4000, 2000, /*seed=*/3);  // subcritical: a forest-ish
+  MisSolution whole = RunNearLinear(g);
+  MisSolution split =
+      RunPerComponent(g, [](const Graph& sub) { return RunNearLinear(sub); });
+  EXPECT_TRUE(IsMaximalIndependentSet(g, split.in_set));
+  if (whole.provably_maximum && split.provably_maximum) {
+    EXPECT_EQ(whole.size, split.size);
+  }
+}
+
+TEST(PerComponentTest, EmptyGraph) {
+  Graph g = Graph::FromEdges(5, std::vector<Edge>{});
+  MisSolution sol =
+      RunPerComponent(g, [](const Graph& sub) { return RunLinearTime(sub); });
+  EXPECT_EQ(sol.size, 5u);
+  EXPECT_TRUE(sol.provably_maximum);
+}
+
+}  // namespace
+}  // namespace rpmis

@@ -1,0 +1,68 @@
+#include "mis/upper_bounds.h"
+
+#include <gtest/gtest.h>
+
+#include "exact/brute_force.h"
+#include "graph/generators.h"
+#include "mis/near_linear.h"
+#include "test_util.h"
+
+namespace rpmis {
+namespace {
+
+TEST(CliqueCoverBoundTest, ExactOnCliquesAndBipartite) {
+  EXPECT_EQ(CliqueCoverBound(CompleteGraph(7)), 1u);
+  // K_{a,b}: best clique partition uses edges: max(a,b) cliques needed.
+  EXPECT_EQ(CliqueCoverBound(CompleteBipartite(3, 5)), 5u);
+  EXPECT_EQ(CliqueCoverBound(PathGraph(6)), 3u);  // 3 edges as cliques
+}
+
+TEST(CycleCoverBoundTest, ExactOnCycles) {
+  EXPECT_EQ(CycleCoverBound(CycleGraph(5)), 2u);
+  EXPECT_EQ(CycleCoverBound(CycleGraph(8)), 4u);
+  // Forests have no cycles: bound degenerates to n.
+  EXPECT_EQ(CycleCoverBound(BinaryTree(7)), 7u);
+}
+
+TEST(UpperBoundsTest, AllBoundsDominateAlpha) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Graph g = ErdosRenyiGnm(26, 50, seed);
+    const uint64_t alpha = BruteForceAlpha(g);
+    EXPECT_GE(CliqueCoverBound(g), alpha) << seed;
+    EXPECT_GE(LpUpperBound(g), alpha) << seed;
+    EXPECT_GE(CycleCoverBound(g), alpha) << seed;
+    EXPECT_GE(BestExistingUpperBound(g), alpha) << seed;
+  }
+}
+
+TEST(UpperBoundsTest, PaperFigures) {
+  for (const Graph& g : {testing::PaperFigure1(), testing::PaperFigure2(),
+                         testing::PaperFigure5()}) {
+    EXPECT_GE(BestExistingUpperBound(g), BruteForceAlpha(g));
+  }
+}
+
+TEST(UpperBoundsTest, Theorem61BoundIsValidAndOftenTighter) {
+  // NearLinear's free |I| + |R| bound must dominate alpha; on power-law
+  // graphs it is typically at least as tight as the existing bounds
+  // (Table 7's comparison).
+  Graph g = ChungLuPowerLaw(5000, 2.1, 4.0, /*seed=*/3);
+  MisSolution sol = RunNearLinear(g);
+  EXPECT_GE(sol.UpperBound(), sol.size);
+  EXPECT_LE(sol.UpperBound(), BestExistingUpperBound(g) + 5);
+}
+
+TEST(UpperBoundsTest, CertifiedInstancesHaveTightBound) {
+  // When NearLinear certifies optimality (R empty), the Theorem 6.1 bound
+  // equals alpha exactly.
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Graph g = ChungLuPowerLaw(60, 2.3, 2.5, seed);
+    MisSolution sol = RunNearLinear(g);
+    if (sol.provably_maximum && g.NumVertices() <= 64) {
+      EXPECT_EQ(sol.UpperBound(), BruteForceAlpha(g)) << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rpmis

@@ -1,0 +1,114 @@
+#include "exact/vc_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "exact/brute_force.h"
+#include "graph/generators.h"
+#include "mis/verify.h"
+#include "test_util.h"
+
+namespace rpmis {
+namespace {
+
+TEST(VcSolverTest, MatchesBruteForceOnRandomGraphs) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Graph g = ErdosRenyiGnm(30, 60 + 3 * seed, seed);
+    VcSolverResult r = SolveExactMis(g);
+    EXPECT_TRUE(r.proven_optimal) << seed;
+    EXPECT_TRUE(IsMaximalIndependentSet(g, r.in_set)) << seed;
+    EXPECT_EQ(r.size, BruteForceAlpha(g)) << seed;
+  }
+}
+
+TEST(VcSolverTest, MatchesBruteForceOnDenserGraphs) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Graph g = ErdosRenyiGnm(24, 110, seed + 50);
+    VcSolverResult r = SolveExactMis(g);
+    EXPECT_TRUE(r.proven_optimal);
+    EXPECT_EQ(r.size, BruteForceAlpha(g)) << seed;
+  }
+}
+
+TEST(VcSolverTest, PaperFigures) {
+  EXPECT_EQ(SolveExactMis(testing::PaperFigure1()).size, 5u);
+  EXPECT_EQ(SolveExactMis(testing::PaperFigure1Modified()).size,
+            BruteForceAlpha(testing::PaperFigure1Modified()));
+  EXPECT_EQ(SolveExactMis(testing::PaperFigure2()).size, 3u);
+  EXPECT_EQ(SolveExactMis(testing::PaperFigure5()).size, 4u);
+}
+
+TEST(VcSolverTest, StructuredFamilies) {
+  EXPECT_EQ(SolveExactMis(CycleGraph(15)).size, 7u);
+  EXPECT_EQ(SolveExactMis(GridGraph(4, 4)).size, 8u);
+  EXPECT_EQ(SolveExactMis(CompleteGraph(10)).size, 1u);
+  EXPECT_EQ(SolveExactMis(CompleteBipartite(4, 9)).size, 9u);
+  EXPECT_EQ(SolveExactMis(Theorem31Gadget(8)).size,
+            BruteForceAlpha(Theorem31Gadget(8)));
+}
+
+TEST(VcSolverTest, SolvesBeyondBruteForceScale) {
+  // 100k-vertex power-law graph: kernelization + component splitting must
+  // crack it exactly within the default budget.
+  Graph g = ChungLuPowerLaw(100000, 2.1, 4.0, /*seed=*/17);
+  VcSolverResult r = SolveExactMis(g);
+  EXPECT_TRUE(IsMaximalIndependentSet(g, r.in_set));
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_GT(r.size, g.NumVertices() / 2);  // power-law MIS is large
+}
+
+TEST(VcSolverTest, TimeBudgetDegradesGracefully) {
+  // A dense random graph with an absurdly small budget: the result must
+  // still be a valid maximal IS, just not proven optimal.
+  Graph g = ErdosRenyiGnm(300, 3000, /*seed=*/23);
+  VcSolverOptions opt;
+  opt.time_limit_seconds = 0.01;
+  VcSolverResult r = SolveExactMis(g, opt);
+  EXPECT_TRUE(IsMaximalIndependentSet(g, r.in_set));
+  // (proven_optimal may be either way if kernelization solves it fast.)
+}
+
+TEST(VcSolverTest, ComponentDecomposition) {
+  // Disjoint union of two odd cycles and a clique.
+  GraphBuilder b(5 + 7 + 6);
+  for (Vertex i = 0; i < 5; ++i) b.AddEdge(i, (i + 1) % 5);
+  for (Vertex i = 0; i < 7; ++i) b.AddEdge(5 + i, 5 + (i + 1) % 7);
+  for (Vertex i = 0; i < 6; ++i) {
+    for (Vertex j = i + 1; j < 6; ++j) b.AddEdge(12 + i, 12 + j);
+  }
+  VcSolverResult r = SolveExactMis(b.Build());
+  EXPECT_EQ(r.size, 2u + 3u + 1u);
+  EXPECT_TRUE(r.proven_optimal);
+}
+
+TEST(VcSolverTest, ReducingPeelingBoundPreservesExactness) {
+  // §6 extension: pruning with NearLinear's Theorem 6.1 bound must never
+  // change the optimum.
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Graph g = ErdosRenyiGnm(40, 110, seed);
+    VcSolverOptions plain, guided;
+    guided.use_reducing_peeling_bound = true;
+    const VcSolverResult a = SolveExactMis(g, plain);
+    const VcSolverResult b = SolveExactMis(g, guided);
+    ASSERT_TRUE(a.proven_optimal && b.proven_optimal) << seed;
+    EXPECT_EQ(a.size, b.size) << seed;
+    EXPECT_TRUE(IsMaximalIndependentSet(g, b.in_set));
+  }
+}
+
+TEST(VcSolverTest, ReducingPeelingBoundPrunesNodes) {
+  // On an instance with real branching, the tighter bound should not
+  // *increase* the node count (usually it shrinks it).
+  Graph g = ErdosRenyiGnm(380, 1140, /*seed=*/5);
+  VcSolverOptions plain, guided;
+  plain.time_limit_seconds = guided.time_limit_seconds = 10;
+  guided.use_reducing_peeling_bound = true;
+  const VcSolverResult a = SolveExactMis(g, plain);
+  const VcSolverResult b = SolveExactMis(g, guided);
+  if (a.proven_optimal && b.proven_optimal) {
+    EXPECT_EQ(a.size, b.size);
+    EXPECT_LE(b.branch_nodes, a.branch_nodes + a.branch_nodes / 4);
+  }
+}
+
+}  // namespace
+}  // namespace rpmis

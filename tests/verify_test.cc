@@ -1,0 +1,94 @@
+#include "mis/verify.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "mis/solution.h"
+#include "test_util.h"
+
+namespace rpmis {
+namespace {
+
+TEST(VerifyTest, IndependenceAndMaximality) {
+  Graph g = testing::PaperFigure2();
+  std::vector<uint8_t> is{1, 0, 1, 1, 0, 0};  // {v1, v3, v4}: maximum
+  EXPECT_TRUE(IsIndependentSet(g, is));
+  EXPECT_TRUE(IsMaximalIndependentSet(g, is));
+
+  std::vector<uint8_t> maximal_not_max{0, 1, 0, 0, 0, 1};  // {v2, v6}
+  EXPECT_TRUE(IsMaximalIndependentSet(g, maximal_not_max));
+
+  std::vector<uint8_t> not_maximal(6, 0);
+  EXPECT_TRUE(IsIndependentSet(g, not_maximal));
+  EXPECT_FALSE(IsMaximalIndependentSet(g, not_maximal));
+
+  std::vector<uint8_t> not_independent{1, 1, 0, 0, 0, 0};  // v1-v2 edge
+  EXPECT_FALSE(IsIndependentSet(g, not_independent));
+}
+
+TEST(VerifyTest, WrongSizeSelectorRejected) {
+  Graph g = PathGraph(4);
+  EXPECT_FALSE(IsIndependentSet(g, std::vector<uint8_t>(3, 0)));
+  EXPECT_FALSE(IsVertexCover(g, std::vector<uint8_t>(5, 1)));
+}
+
+TEST(VerifyTest, VertexCoverDuality) {
+  // §2: I is a (maximal) independent set iff V \ I is a vertex cover.
+  Graph g = testing::PaperFigure1();
+  std::vector<uint8_t> is(10, 0);
+  for (Vertex v : {0u, 3u, 5u, 7u, 9u}) is[v] = 1;  // {v1,v4,v6,v8,v10}
+  ASSERT_TRUE(IsIndependentSet(g, is));
+  EXPECT_TRUE(IsVertexCover(g, Complement(is)));
+  // The complement of a NON-independent set can still cover, but the
+  // complement of this specific maximum IS is the minimum cover of size 5.
+  uint64_t cover_size = 0;
+  for (uint8_t f : Complement(is)) cover_size += f;
+  EXPECT_EQ(cover_size, 5u);
+}
+
+TEST(VerifyTest, ExtendToMaximalProducesMaximal) {
+  Graph g = CycleGraph(9);
+  std::vector<uint8_t> is(9, 0);
+  const uint64_t added = ExtendToMaximal(g, is);
+  EXPECT_GE(added, 3u);
+  EXPECT_TRUE(IsMaximalIndependentSet(g, is));
+}
+
+TEST(VerifyTest, ExtendToMaximalRespectsExisting) {
+  Graph g = PathGraph(5);
+  std::vector<uint8_t> is{0, 1, 0, 0, 0};
+  ExtendToMaximal(g, is);
+  EXPECT_TRUE(IsMaximalIndependentSet(g, is));
+  EXPECT_EQ(is[1], 1);  // pre-selected vertex kept
+}
+
+TEST(VerifyTest, ReplayDeferredStackAlternates) {
+  // Path 0-1-2-3-4-5 with endpoint decided: 0 in I. Stack pushed 5,4,3,2,1
+  // (pop order 1..5), each entry carrying its at-removal partners; the
+  // replay must pick the alternating half {2, 4}.
+  Graph g = PathGraph(6);
+  std::vector<uint8_t> is(6, 0);
+  is[0] = 1;
+  std::vector<DeferredDecision> stack{
+      {5, 4, 4}, {4, 3, 5}, {3, 2, 4}, {2, 1, 3}, {1, 0, 2}};
+  const uint64_t added = ReplayDeferredStack(stack, is);
+  EXPECT_EQ(added, 2u);
+  EXPECT_TRUE(IsIndependentSet(g, is));
+  EXPECT_EQ(is[2], 1);
+  EXPECT_EQ(is[4], 1);
+}
+
+TEST(VerifyTest, ReplayDeferredStackHonorsVirtualPartners) {
+  // Partners that are NOT original-graph edges (rewired/virtual) must
+  // still block: v=1 with virtual partner 3 already in I stays out.
+  Graph g = PathGraph(4);
+  std::vector<uint8_t> is(4, 0);
+  is[3] = 1;
+  std::vector<DeferredDecision> stack{{1, 0, 3}};
+  const uint64_t added = ReplayDeferredStack(stack, is);
+  EXPECT_EQ(added, 0u);
+  EXPECT_EQ(is[1], 0);
+}
+
+}  // namespace
+}  // namespace rpmis

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bounds.dir/bench_ablation_bounds.cc.o"
+  "CMakeFiles/bench_ablation_bounds.dir/bench_ablation_bounds.cc.o.d"
+  "bench_ablation_bounds"
+  "bench_ablation_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

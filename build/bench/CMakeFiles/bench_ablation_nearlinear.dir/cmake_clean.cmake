@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nearlinear.dir/bench_ablation_nearlinear.cc.o"
+  "CMakeFiles/bench_ablation_nearlinear.dir/bench_ablation_nearlinear.cc.o.d"
+  "bench_ablation_nearlinear"
+  "bench_ablation_nearlinear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nearlinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_baselines.dir/bench_fig7_baselines.cc.o"
+  "CMakeFiles/bench_fig7_baselines.dir/bench_fig7_baselines.cc.o.d"
+  "bench_fig7_baselines"
+  "bench_fig7_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

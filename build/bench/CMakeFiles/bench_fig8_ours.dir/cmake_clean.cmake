@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_ours.dir/bench_fig8_ours.cc.o"
+  "CMakeFiles/bench_fig8_ours.dir/bench_fig8_ours.cc.o.d"
+  "bench_fig8_ours"
+  "bench_fig8_ours.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_ours.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

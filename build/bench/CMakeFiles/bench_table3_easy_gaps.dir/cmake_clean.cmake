@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_easy_gaps.dir/bench_table3_easy_gaps.cc.o"
+  "CMakeFiles/bench_table3_easy_gaps.dir/bench_table3_easy_gaps.cc.o.d"
+  "bench_table3_easy_gaps"
+  "bench_table3_easy_gaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_easy_gaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_hard_gaps.dir/bench_table4_hard_gaps.cc.o"
+  "CMakeFiles/bench_table4_hard_gaps.dir/bench_table4_hard_gaps.cc.o.d"
+  "bench_table4_hard_gaps"
+  "bench_table4_hard_gaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_hard_gaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_powerlaw.dir/bench_table5_powerlaw.cc.o"
+  "CMakeFiles/bench_table5_powerlaw.dir/bench_table5_powerlaw.cc.o.d"
+  "bench_table5_powerlaw"
+  "bench_table5_powerlaw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_powerlaw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

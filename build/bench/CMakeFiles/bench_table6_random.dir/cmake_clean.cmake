@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_random.dir/bench_table6_random.cc.o"
+  "CMakeFiles/bench_table6_random.dir/bench_table6_random.cc.o.d"
+  "bench_table6_random"
+  "bench_table6_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_bounds.dir/bench_table7_bounds.cc.o"
+  "CMakeFiles/bench_table7_bounds.dir/bench_table7_bounds.cc.o.d"
+  "bench_table7_bounds"
+  "bench_table7_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

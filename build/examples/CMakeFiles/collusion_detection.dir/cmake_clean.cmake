@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collusion_detection.dir/collusion_detection.cpp.o"
+  "CMakeFiles/collusion_detection.dir/collusion_detection.cpp.o.d"
+  "collusion_detection"
+  "collusion_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collusion_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_gen.dir/graph_gen.cpp.o"
+  "CMakeFiles/graph_gen.dir/graph_gen.cpp.o.d"
+  "graph_gen"
+  "graph_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mis_cli.dir/mis_cli.cpp.o"
+  "CMakeFiles/mis_cli.dir/mis_cli.cpp.o.d"
+  "mis_cli"
+  "mis_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mis_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

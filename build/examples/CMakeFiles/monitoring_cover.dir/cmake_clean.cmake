@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitoring_cover.dir/monitoring_cover.cpp.o"
+  "CMakeFiles/monitoring_cover.dir/monitoring_cover.cpp.o.d"
+  "monitoring_cover"
+  "monitoring_cover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitoring_cover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

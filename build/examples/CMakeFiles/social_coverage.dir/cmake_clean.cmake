@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_coverage.dir/social_coverage.cpp.o"
+  "CMakeFiles/social_coverage.dir/social_coverage.cpp.o.d"
+  "social_coverage"
+  "social_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/du.cc" "src/CMakeFiles/rpmis.dir/baselines/du.cc.o" "gcc" "src/CMakeFiles/rpmis.dir/baselines/du.cc.o.d"
+  "/root/repo/src/baselines/greedy.cc" "src/CMakeFiles/rpmis.dir/baselines/greedy.cc.o" "gcc" "src/CMakeFiles/rpmis.dir/baselines/greedy.cc.o.d"
+  "/root/repo/src/baselines/semi_external.cc" "src/CMakeFiles/rpmis.dir/baselines/semi_external.cc.o" "gcc" "src/CMakeFiles/rpmis.dir/baselines/semi_external.cc.o.d"
+  "/root/repo/src/benchkit/datasets.cc" "src/CMakeFiles/rpmis.dir/benchkit/datasets.cc.o" "gcc" "src/CMakeFiles/rpmis.dir/benchkit/datasets.cc.o.d"
+  "/root/repo/src/benchkit/run.cc" "src/CMakeFiles/rpmis.dir/benchkit/run.cc.o" "gcc" "src/CMakeFiles/rpmis.dir/benchkit/run.cc.o.d"
+  "/root/repo/src/benchkit/table.cc" "src/CMakeFiles/rpmis.dir/benchkit/table.cc.o" "gcc" "src/CMakeFiles/rpmis.dir/benchkit/table.cc.o.d"
+  "/root/repo/src/ds/bucket_queue.cc" "src/CMakeFiles/rpmis.dir/ds/bucket_queue.cc.o" "gcc" "src/CMakeFiles/rpmis.dir/ds/bucket_queue.cc.o.d"
+  "/root/repo/src/exact/brute_force.cc" "src/CMakeFiles/rpmis.dir/exact/brute_force.cc.o" "gcc" "src/CMakeFiles/rpmis.dir/exact/brute_force.cc.o.d"
+  "/root/repo/src/exact/vc_solver.cc" "src/CMakeFiles/rpmis.dir/exact/vc_solver.cc.o" "gcc" "src/CMakeFiles/rpmis.dir/exact/vc_solver.cc.o.d"
+  "/root/repo/src/graph/adjacency_graph.cc" "src/CMakeFiles/rpmis.dir/graph/adjacency_graph.cc.o" "gcc" "src/CMakeFiles/rpmis.dir/graph/adjacency_graph.cc.o.d"
+  "/root/repo/src/graph/algorithms.cc" "src/CMakeFiles/rpmis.dir/graph/algorithms.cc.o" "gcc" "src/CMakeFiles/rpmis.dir/graph/algorithms.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/CMakeFiles/rpmis.dir/graph/generators.cc.o" "gcc" "src/CMakeFiles/rpmis.dir/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/rpmis.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/rpmis.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/CMakeFiles/rpmis.dir/graph/io.cc.o" "gcc" "src/CMakeFiles/rpmis.dir/graph/io.cc.o.d"
+  "/root/repo/src/localsearch/arw.cc" "src/CMakeFiles/rpmis.dir/localsearch/arw.cc.o" "gcc" "src/CMakeFiles/rpmis.dir/localsearch/arw.cc.o.d"
+  "/root/repo/src/localsearch/boosted.cc" "src/CMakeFiles/rpmis.dir/localsearch/boosted.cc.o" "gcc" "src/CMakeFiles/rpmis.dir/localsearch/boosted.cc.o.d"
+  "/root/repo/src/localsearch/online_mis.cc" "src/CMakeFiles/rpmis.dir/localsearch/online_mis.cc.o" "gcc" "src/CMakeFiles/rpmis.dir/localsearch/online_mis.cc.o.d"
+  "/root/repo/src/localsearch/redumis.cc" "src/CMakeFiles/rpmis.dir/localsearch/redumis.cc.o" "gcc" "src/CMakeFiles/rpmis.dir/localsearch/redumis.cc.o.d"
+  "/root/repo/src/mis/bdone.cc" "src/CMakeFiles/rpmis.dir/mis/bdone.cc.o" "gcc" "src/CMakeFiles/rpmis.dir/mis/bdone.cc.o.d"
+  "/root/repo/src/mis/bdtwo.cc" "src/CMakeFiles/rpmis.dir/mis/bdtwo.cc.o" "gcc" "src/CMakeFiles/rpmis.dir/mis/bdtwo.cc.o.d"
+  "/root/repo/src/mis/io_efficient.cc" "src/CMakeFiles/rpmis.dir/mis/io_efficient.cc.o" "gcc" "src/CMakeFiles/rpmis.dir/mis/io_efficient.cc.o.d"
+  "/root/repo/src/mis/kernel_capture.cc" "src/CMakeFiles/rpmis.dir/mis/kernel_capture.cc.o" "gcc" "src/CMakeFiles/rpmis.dir/mis/kernel_capture.cc.o.d"
+  "/root/repo/src/mis/kernelizer.cc" "src/CMakeFiles/rpmis.dir/mis/kernelizer.cc.o" "gcc" "src/CMakeFiles/rpmis.dir/mis/kernelizer.cc.o.d"
+  "/root/repo/src/mis/linear_time.cc" "src/CMakeFiles/rpmis.dir/mis/linear_time.cc.o" "gcc" "src/CMakeFiles/rpmis.dir/mis/linear_time.cc.o.d"
+  "/root/repo/src/mis/lp_reduction.cc" "src/CMakeFiles/rpmis.dir/mis/lp_reduction.cc.o" "gcc" "src/CMakeFiles/rpmis.dir/mis/lp_reduction.cc.o.d"
+  "/root/repo/src/mis/near_linear.cc" "src/CMakeFiles/rpmis.dir/mis/near_linear.cc.o" "gcc" "src/CMakeFiles/rpmis.dir/mis/near_linear.cc.o.d"
+  "/root/repo/src/mis/per_component.cc" "src/CMakeFiles/rpmis.dir/mis/per_component.cc.o" "gcc" "src/CMakeFiles/rpmis.dir/mis/per_component.cc.o.d"
+  "/root/repo/src/mis/solution.cc" "src/CMakeFiles/rpmis.dir/mis/solution.cc.o" "gcc" "src/CMakeFiles/rpmis.dir/mis/solution.cc.o.d"
+  "/root/repo/src/mis/upper_bounds.cc" "src/CMakeFiles/rpmis.dir/mis/upper_bounds.cc.o" "gcc" "src/CMakeFiles/rpmis.dir/mis/upper_bounds.cc.o.d"
+  "/root/repo/src/mis/verify.cc" "src/CMakeFiles/rpmis.dir/mis/verify.cc.o" "gcc" "src/CMakeFiles/rpmis.dir/mis/verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

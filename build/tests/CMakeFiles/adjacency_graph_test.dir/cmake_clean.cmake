@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adjacency_graph_test.dir/adjacency_graph_test.cc.o"
+  "CMakeFiles/adjacency_graph_test.dir/adjacency_graph_test.cc.o.d"
+  "adjacency_graph_test"
+  "adjacency_graph_test.pdb"
+  "adjacency_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adjacency_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

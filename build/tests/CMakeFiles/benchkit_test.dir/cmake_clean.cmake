@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchkit_test.dir/benchkit_test.cc.o"
+  "CMakeFiles/benchkit_test.dir/benchkit_test.cc.o.d"
+  "benchkit_test"
+  "benchkit_test.pdb"
+  "benchkit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchkit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

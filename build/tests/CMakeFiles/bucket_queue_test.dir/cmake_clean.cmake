@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bucket_queue_test.dir/bucket_queue_test.cc.o"
+  "CMakeFiles/bucket_queue_test.dir/bucket_queue_test.cc.o.d"
+  "bucket_queue_test"
+  "bucket_queue_test.pdb"
+  "bucket_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bucket_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

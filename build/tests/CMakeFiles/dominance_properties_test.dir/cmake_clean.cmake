@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dominance_properties_test.dir/dominance_properties_test.cc.o"
+  "CMakeFiles/dominance_properties_test.dir/dominance_properties_test.cc.o.d"
+  "dominance_properties_test"
+  "dominance_properties_test.pdb"
+  "dominance_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dominance_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_efficient_test.dir/io_efficient_test.cc.o"
+  "CMakeFiles/io_efficient_test.dir/io_efficient_test.cc.o.d"
+  "io_efficient_test"
+  "io_efficient_test.pdb"
+  "io_efficient_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_efficient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

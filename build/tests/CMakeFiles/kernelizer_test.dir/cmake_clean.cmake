@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernelizer_test.dir/kernelizer_test.cc.o"
+  "CMakeFiles/kernelizer_test.dir/kernelizer_test.cc.o.d"
+  "kernelizer_test"
+  "kernelizer_test.pdb"
+  "kernelizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernelizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_reduction_test.dir/lp_reduction_test.cc.o"
+  "CMakeFiles/lp_reduction_test.dir/lp_reduction_test.cc.o.d"
+  "lp_reduction_test"
+  "lp_reduction_test.pdb"
+  "lp_reduction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_reduction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

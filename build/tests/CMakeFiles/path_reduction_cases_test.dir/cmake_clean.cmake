@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_reduction_cases_test.dir/path_reduction_cases_test.cc.o"
+  "CMakeFiles/path_reduction_cases_test.dir/path_reduction_cases_test.cc.o.d"
+  "path_reduction_cases_test"
+  "path_reduction_cases_test.pdb"
+  "path_reduction_cases_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_reduction_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/per_component_test.dir/per_component_test.cc.o"
+  "CMakeFiles/per_component_test.dir/per_component_test.cc.o.d"
+  "per_component_test"
+  "per_component_test.pdb"
+  "per_component_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/per_component_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reducing_peeling_test.dir/reducing_peeling_test.cc.o"
+  "CMakeFiles/reducing_peeling_test.dir/reducing_peeling_test.cc.o.d"
+  "reducing_peeling_test"
+  "reducing_peeling_test.pdb"
+  "reducing_peeling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reducing_peeling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upper_bounds_test.dir/upper_bounds_test.cc.o"
+  "CMakeFiles/upper_bounds_test.dir/upper_bounds_test.cc.o.d"
+  "upper_bounds_test"
+  "upper_bounds_test.pdb"
+  "upper_bounds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upper_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

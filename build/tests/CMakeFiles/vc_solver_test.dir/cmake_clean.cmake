@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_solver_test.dir/vc_solver_test.cc.o"
+  "CMakeFiles/vc_solver_test.dir/vc_solver_test.cc.o.d"
+  "vc_solver_test"
+  "vc_solver_test.pdb"
+  "vc_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

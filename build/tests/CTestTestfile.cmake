@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/adjacency_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/bucket_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/algorithms_test[1]_include.cmake")
+include("/root/repo/build/tests/generators_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/verify_test[1]_include.cmake")
+include("/root/repo/build/tests/brute_force_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_reduction_test[1]_include.cmake")
+include("/root/repo/build/tests/reducing_peeling_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_examples_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/kernelizer_test[1]_include.cmake")
+include("/root/repo/build/tests/local_search_test[1]_include.cmake")
+include("/root/repo/build/tests/upper_bounds_test[1]_include.cmake")
+include("/root/repo/build/tests/vc_solver_test[1]_include.cmake")
+include("/root/repo/build/tests/benchkit_test[1]_include.cmake")
+include("/root/repo/build/tests/dominance_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/path_reduction_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_test[1]_include.cmake")
+include("/root/repo/build/tests/per_component_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/io_efficient_test[1]_include.cmake")

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
 
   TablePrinter table({"Graph", "config", "time", "kernel n", "peels", "|I|"});
   for (const auto& spec : bench::MaybeSubsample(EasyDatasets(), fast, 2)) {
-    Graph g = spec.make();
+    Graph g = LoadDataset(spec);
     for (const auto& cfg : configs) {
       Timer t;
       MisSolution sol = RunNearLinear(g, nullptr, cfg.opts);

@@ -22,7 +22,7 @@ void RunConvergence(const std::vector<std::string>& graphs, bool fast) {
   const double budget = fast ? 0.5 : 4.0;
   for (const std::string& name : graphs) {
     const DatasetSpec& spec = DatasetByName(name);
-    Graph g = spec.make();
+    Graph g = LoadDataset(spec);
     std::cout << "--- " << name << " (n=" << FormatCount(g.NumVertices())
               << ", m=" << FormatCount(g.NumEdges()) << ", budget "
               << FormatSeconds(budget) << ") ---\n";

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   TablePrinter table({"Graph", "ARW", "OnlineMIS", "ReduMIS", "ARW-LT",
                       "ARW-NL", "NL-first acc"});
   for (const std::string& name : graphs) {
-    Graph g = DatasetByName(name).make();
+    Graph g = LoadDataset(DatasetByName(name));
     uint64_t arw, online, redu, lt, nl, nl_first;
     {
       ArwOptions o;

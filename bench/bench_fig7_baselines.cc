@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   TablePrinter time_table({"Graph", "Greedy", "DU", "SemiE", "BDOne"});
   TablePrinter mem_table({"Graph", "Greedy", "DU", "SemiE", "BDOne"});
   for (const auto& spec : bench::MaybeSubsample(EasyDatasets(), fast, 3)) {
-    Graph g = spec.make();
+    Graph g = LoadDataset(spec);
     std::vector<std::string> trow{spec.name}, mrow{spec.name};
     for (const auto& algo : algos) {
       ChildMeasurement m = MeasureInChild([&](uint64_t payload[4]) {

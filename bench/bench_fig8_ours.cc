@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   TablePrinter mem_table(
       {"Graph", "BDOne", "BDTwo", "LinearT", "NearLin", "VCSolver"});
   for (const auto& spec : bench::MaybeSubsample(EasyDatasets(), fast, 3)) {
-    Graph g = spec.make();
+    Graph g = LoadDataset(spec);
     std::vector<std::string> trow{spec.name}, mrow{spec.name};
     for (const auto& algo : algos) {
       ChildMeasurement m = MeasureInChild([&](uint64_t payload[4]) {

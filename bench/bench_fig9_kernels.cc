@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   std::vector<DatasetSpec> specs = EasyDatasets();
   for (auto& h : HardDatasets()) specs.push_back(h);
   for (const auto& spec : bench::MaybeSubsample(specs, fast, 3)) {
-    Graph g = spec.make();
+    Graph g = LoadDataset(spec);
     Timer t1;
     MisSolution lt = RunLinearTime(g);
     const double lt_time = t1.Seconds();

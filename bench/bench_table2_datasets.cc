@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
                       "paper n", "paper m"});
   for (const auto& spec :
        bench::MaybeSubsample(AllDatasets(), fast, 6)) {
-    Graph g = spec.make();
+    Graph g = LoadDataset(spec);
     DegreeStats s = ComputeDegreeStats(g);
     table.AddRow({spec.name, spec.hard ? "hard" : "easy",
                   FormatCount(g.NumVertices()), FormatCount(g.NumEdges()),

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   TablePrinter table({"Graph", "alpha", "Greedy", "DU", "SemiE", "BDOne",
                       "BDTwo", "LinearT", "NearLin", "NL acc", "NL kernel"});
   for (const auto& spec : bench::MaybeSubsample(EasyDatasets(), fast, 3)) {
-    Graph g = spec.make();
+    Graph g = LoadDataset(spec);
     VcSolverOptions exact_opt;
     exact_opt.time_limit_seconds = fast ? 5.0 : 30.0;
     const VcSolverResult exact = SolveExactMis(g, exact_opt);

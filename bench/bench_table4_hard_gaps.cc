@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   TablePrinter table({"Graph", "best", "Greedy", "DU", "SemiE", "BDOne",
                       "BDTwo", "LinearT", "NearLin"});
   for (const auto& spec : bench::MaybeSubsample(HardDatasets(), fast, 2)) {
-    Graph g = spec.make();
+    Graph g = LoadDataset(spec);
     // "Best result size obtained by the local search algorithms": ARW-NL
     // and the ReduMIS substitute with a scaled-down budget.
     uint64_t best = 0;

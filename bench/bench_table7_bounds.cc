@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   TablePrinter table({"Graph", "CliqueCov", "LP", "CycleCov", "Existing",
                       "Ours (|I|+|R|)", "|I| (lower)"});
   for (const auto& spec : bench::MaybeSubsample(EasyDatasets(), fast, 3)) {
-    Graph g = spec.make();
+    Graph g = LoadDataset(spec);
     const uint64_t clique = CliqueCoverBound(g);
     const uint64_t lp = LpUpperBound(g);
     const uint64_t cycle = CycleCoverBound(g);

@@ -52,10 +52,10 @@ bool HasOption(int argc, char** argv, const char* flag) {
 
 int Usage() {
   std::cerr
-      << "usage: mis_cli <file> [--format=edgelist|dimacs|metis]\n"
+      << "usage: mis_cli <file> [--format=auto|edgelist|dimacs|metis|binary]\n"
          "               [--algo=greedy|du|semie|bdone|bdtwo|lineartime|\n"
          "                       nearlinear|arw-lt|arw-nl|exact]\n"
-         "               [--time=SECONDS] [--cover] [--out=FILE]\n";
+         "               [--time=SECONDS] [--cover] [--out=FILE] [--no-cache]\n";
   return 2;
 }
 
@@ -64,7 +64,7 @@ int Usage() {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string path = argv[1];
-  const std::string format = OptionValue(argc, argv, "--format", "edgelist");
+  const std::string format = OptionValue(argc, argv, "--format", "auto");
   const std::string algo = OptionValue(argc, argv, "--algo", "nearlinear");
   const double budget = std::stod(OptionValue(argc, argv, "--time", "5"));
   const std::string out_path = OptionValue(argc, argv, "--out", "");
@@ -72,20 +72,22 @@ int main(int argc, char** argv) {
 
   Graph g;
   try {
-    std::ifstream in(path);
-    if (!in) {
-      std::cerr << "cannot open " << path << "\n";
-      return 1;
-    }
-    if (format == "edgelist") {
-      g = ReadEdgeList(in);
+    LoadOptions opts;
+    opts.use_cache = !HasOption(argc, argv, "--no-cache");
+    if (format == "auto") {
+      opts.format = GraphFormat::kAuto;
+    } else if (format == "edgelist") {
+      opts.format = GraphFormat::kEdgeList;
     } else if (format == "dimacs") {
-      g = ReadDimacs(in);
+      opts.format = GraphFormat::kDimacs;
     } else if (format == "metis") {
-      g = ReadMetis(in);
+      opts.format = GraphFormat::kMetis;
+    } else if (format == "binary") {
+      opts.format = GraphFormat::kBinary;
     } else {
       return Usage();
     }
+    g = LoadGraphFile(path, opts);
   } catch (const std::exception& e) {
     std::cerr << "parse error: " << e.what() << "\n";
     return 1;

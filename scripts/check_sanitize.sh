@@ -1,0 +1,16 @@
+#!/bin/sh
+# Configures a dedicated build tree with AddressSanitizer + UBSan enabled
+# (the RPMIS_SANITIZE CMake option) and runs the full ctest suite in it.
+# The raw-buffer parsers and the threaded CSR build are the code these
+# checks exist for. Override the sanitizer list with, e.g.:
+#   RPMIS_SANITIZE=thread scripts/check_sanitize.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+SANITIZE="${RPMIS_SANITIZE:-address,undefined}"
+BUILD_DIR="build-sanitize"
+
+cmake -B "$BUILD_DIR" -S . -DRPMIS_SANITIZE="$SANITIZE" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -1,6 +1,10 @@
 #include "benchkit/datasets.h"
 
+#include <cstdlib>
+#include <filesystem>
+
 #include "graph/generators.h"
+#include "graph/io.h"
 #include "support/assert.h"
 
 namespace rpmis {
@@ -76,6 +80,36 @@ std::vector<DatasetSpec> HardDatasets() {
     if (d.hard) out.push_back(d);
   }
   return out;
+}
+
+Graph LoadDataset(const DatasetSpec& spec) {
+  const char* dir = std::getenv("RPMIS_DATASET_CACHE");
+  if (dir == nullptr || *dir == '\0') return spec.make();
+
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const std::string cache = std::string(dir) + "/" + spec.name + ".rpmi";
+  if (fs::exists(cache, ec)) {
+    try {
+      return ReadBinaryFile(cache);
+    } catch (const std::exception&) {
+      // Corrupt or stale-format cache entry: regenerate it below.
+    }
+  }
+
+  Graph g = spec.make();
+  // Write-to-temp + rename so concurrent bench processes never read a
+  // half-written cache; any failure just means no cache this run.
+  const std::string tmp = cache + ".tmp";
+  try {
+    WriteBinaryFile(g, tmp);
+    fs::rename(tmp, cache, ec);
+    if (ec) fs::remove(tmp, ec);
+  } catch (const std::exception&) {
+    fs::remove(tmp, ec);
+  }
+  return g;
 }
 
 const DatasetSpec& DatasetByName(const std::string& name) {

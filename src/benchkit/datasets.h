@@ -35,6 +35,16 @@ std::vector<DatasetSpec> HardDatasets();
 /// Lookup by name; aborts on unknown names.
 const DatasetSpec& DatasetByName(const std::string& name);
 
+/// Materializes a dataset, transparently caching the built graph in the
+/// RPMI binary format under the directory named by the
+/// RPMIS_DATASET_CACHE environment variable (created on demand). With the
+/// variable unset the generator runs every time, exactly like calling
+/// spec.make(). Cache entries are keyed by dataset name; generators are
+/// deterministic, so deleting `<dir>/<name>.rpmi` is the only
+/// invalidation ever needed. Corrupt cache files are regenerated, and
+/// cache write failures fall back to the uncached path silently.
+Graph LoadDataset(const DatasetSpec& spec);
+
 }  // namespace rpmis
 
 #endif  // RPMIS_BENCHKIT_DATASETS_H_

@@ -4,6 +4,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 
@@ -40,9 +41,10 @@ ChildMeasurement MeasureInChild(const std::function<void(uint64_t[4])>& body) {
   // allocations reuse already-mapped heap left over from building the
   // input graph and VmHWM never grows (the measurement floors out).
   malloc_trim(0);
-  int pipe_fd[2];
-  if (pipe(pipe_fd) != 0) {
-    // Degraded path: measure in-process (RSS delta may be polluted).
+
+  // Degraded path when fork/pipe is unavailable: measure in-process (RSS
+  // delta may be polluted by the parent's history).
+  auto measure_in_process = [&] {
     const uint64_t before = PeakRssKb();
     Timer t;
     body(out.payload);
@@ -50,10 +52,20 @@ ChildMeasurement MeasureInChild(const std::function<void(uint64_t[4])>& body) {
     out.peak_rss_delta_kb = PeakRssKb() - before;
     out.ok = true;
     return out;
-  }
+  };
+
+  int pipe_fd[2];
+  if (pipe(pipe_fd) != 0) return measure_in_process();
   const pid_t pid = fork();
+  if (pid < 0) {
+    close(pipe_fd[0]);
+    close(pipe_fd[1]);
+    return measure_in_process();
+  }
   if (pid == 0) {
-    // Child: run and report.
+    // Child: run and report the full struct (retrying interrupted or
+    // short writes; the report is well under PIPE_BUF, so in practice
+    // this is one atomic write).
     close(pipe_fd[0]);
     ChildMeasurement report;
     const uint64_t before = PeakRssKb();
@@ -62,19 +74,49 @@ ChildMeasurement MeasureInChild(const std::function<void(uint64_t[4])>& body) {
     report.seconds = t.Seconds();
     report.peak_rss_delta_kb = PeakRssKb() - before;
     report.ok = true;
-    ssize_t written = write(pipe_fd[1], &report, sizeof(report));
-    (void)written;
+    const char* src = reinterpret_cast<const char*>(&report);
+    size_t left = sizeof(report);
+    while (left > 0) {
+      const ssize_t written = write(pipe_fd[1], src, left);
+      if (written < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      src += written;
+      left -= static_cast<size_t>(written);
+    }
     close(pipe_fd[1]);
     _exit(0);
   }
+
+  // Parent: collect the whole report, tolerating EINTR and short reads.
   close(pipe_fd[1]);
-  if (pid > 0) {
-    const ssize_t got = read(pipe_fd[0], &out, sizeof(out));
-    if (got != static_cast<ssize_t>(sizeof(out))) out.ok = false;
-    int status = 0;
-    waitpid(pid, &status, 0);
+  char* dst = reinterpret_cast<char*>(&out);
+  size_t got = 0;
+  while (got < sizeof(out)) {
+    const ssize_t r = read(pipe_fd[0], dst + got, sizeof(out) - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (r == 0) break;  // child died before reporting
+    got += static_cast<size_t>(r);
   }
   close(pipe_fd[0]);
+
+  // Reap unconditionally — a failed read must not leak a zombie — and
+  // only trust the payload when the child also exited cleanly (a child
+  // killed by a signal or exiting nonzero yields ok = false).
+  int status = 0;
+  pid_t reaped;
+  do {
+    reaped = waitpid(pid, &status, 0);
+  } while (reaped < 0 && errno == EINTR);
+  const bool exited_clean =
+      reaped == pid && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  if (got != sizeof(out) || !exited_clean || !out.ok) {
+    out = ChildMeasurement{};  // never surface a partially-filled payload
+  }
   return out;
 }
 

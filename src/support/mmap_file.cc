@@ -1,0 +1,107 @@
+#include "support/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <stdexcept>
+#include <utility>
+
+namespace rpmis {
+
+namespace {
+
+[[noreturn]] void Fail(const std::string& what) {
+  throw std::runtime_error("rpmis::mmap: " + what);
+}
+
+std::string ReadFdToString(int fd, const std::string& path) {
+  std::string out;
+  char buf[1 << 18];
+  for (;;) {
+    const ssize_t got = ::read(fd, buf, sizeof(buf));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      Fail("read failed for " + path + ": " + std::strerror(errno));
+    }
+    if (got == 0) return out;
+    out.append(buf, static_cast<size_t>(got));
+  }
+}
+
+}  // namespace
+
+MmapFile MmapFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) Fail("cannot open " + path + ": " + std::strerror(errno));
+
+  MmapFile out;
+  struct stat st{};
+  const bool regular = ::fstat(fd, &st) == 0 && S_ISREG(st.st_mode);
+  if (regular && st.st_size > 0) {
+    void* mapping = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+                           MAP_PRIVATE, fd, 0);
+    if (mapping != MAP_FAILED) {
+      ::madvise(mapping, static_cast<size_t>(st.st_size), MADV_SEQUENTIAL);
+      out.data_ = static_cast<const char*>(mapping);
+      out.size_ = static_cast<size_t>(st.st_size);
+      out.mapped_ = true;
+      ::close(fd);
+      return out;
+    }
+  }
+
+  // Fallback: empty regular files (mmap of length 0 is invalid), pipes,
+  // and filesystems that refuse mmap all land here.
+  try {
+    out.fallback_ = ReadFdToString(fd, path);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  out.data_ = out.fallback_.data();
+  out.size_ = out.fallback_.size();
+  out.mapped_ = false;
+  return out;
+}
+
+MmapFile::~MmapFile() {
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this == &other) return *this;
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+  fallback_ = std::move(other.fallback_);
+  mapped_ = other.mapped_;
+  size_ = other.size_;
+  data_ = mapped_ ? other.data_ : fallback_.data();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+  return *this;
+}
+
+std::string ReadStreamToString(std::istream& in) {
+  if (in.fail() && !in.eof()) Fail("input stream is in a failed state");
+  std::string out;
+  char buf[1 << 18];
+  while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
+    out.append(buf, static_cast<size_t>(in.gcount()));
+  }
+  return out;
+}
+
+}  // namespace rpmis

@@ -1,0 +1,58 @@
+// Read-only file mapping plus a chunked stream reader: the two ways bytes
+// enter the ingest fast path.
+//
+// MmapFile maps regular files so the from_chars parsers in graph/io can
+// scan the kernel page cache directly — no read() copies, no line-by-line
+// stream overhead. When mmap is unavailable (non-regular files, exotic
+// filesystems) it transparently falls back to reading the file into an
+// owned buffer, so callers always get a contiguous [data, data+size)
+// range. ReadStreamToString is the equivalent for std::istream inputs the
+// caller cannot name by path (string streams, pipes): it slurps the
+// remaining stream in large chunks into one buffer.
+#ifndef RPMIS_SUPPORT_MMAP_FILE_H_
+#define RPMIS_SUPPORT_MMAP_FILE_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace rpmis {
+
+/// Immutable view of a whole file, mmap-backed when possible.
+class MmapFile {
+ public:
+  /// Maps (or, failing that, reads) `path`. Throws std::runtime_error when
+  /// the file cannot be opened or read.
+  static MmapFile Open(const std::string& path);
+
+  MmapFile() = default;
+  ~MmapFile();
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  std::string_view view() const { return {data_, size_}; }
+
+  /// True when the contents are a kernel mapping rather than an owned copy
+  /// (informational; the read API is identical either way).
+  bool is_mapped() const { return mapped_; }
+
+ private:
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  std::string fallback_;  // owns the bytes when !mapped_
+};
+
+/// Reads everything remaining on `in` into one string using large chunked
+/// reads (no per-line scanning). Throws std::runtime_error if the stream
+/// is in a failed state before reaching EOF.
+std::string ReadStreamToString(std::istream& in);
+
+}  // namespace rpmis
+
+#endif  // RPMIS_SUPPORT_MMAP_FILE_H_

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
 #include <sstream>
 
 #include "benchkit/datasets.h"
@@ -85,6 +90,40 @@ TEST(RunTest, MeasureInChildReturnsPayload) {
   EXPECT_EQ(m.payload[1], 7u);
   EXPECT_GE(m.seconds, 0.0);
   EXPECT_GT(m.peak_rss_delta_kb, 1000u);
+}
+
+TEST(RunTest, MeasureInChildReportsNonzeroExit) {
+  // Regression: a child that dies after filling the payload must yield
+  // ok = false with a zeroed payload, never partial data.
+  ChildMeasurement m = MeasureInChild([](uint64_t payload[4]) {
+    payload[0] = 99;
+    _exit(3);
+  });
+  EXPECT_FALSE(m.ok);
+  for (uint64_t v : m.payload) EXPECT_EQ(v, 0u);
+  EXPECT_EQ(m.peak_rss_delta_kb, 0u);
+}
+
+TEST(RunTest, MeasureInChildReportsSignalledChild) {
+  ChildMeasurement m = MeasureInChild([](uint64_t payload[4]) {
+    payload[1] = 7;
+    raise(SIGKILL);
+  });
+  EXPECT_FALSE(m.ok);
+  for (uint64_t v : m.payload) EXPECT_EQ(v, 0u);
+}
+
+TEST(RunTest, MeasureInChildLeavesNoZombies) {
+  (void)MeasureInChild([](uint64_t payload[4]) { payload[0] = 1; });
+  (void)MeasureInChild([](uint64_t[4]) { _exit(7); });
+  (void)MeasureInChild([](uint64_t[4]) { raise(SIGSEGV); });
+  // Every child must have been reaped, in success and failure branches
+  // alike: with no outstanding children, waitpid reports ECHILD.
+  int status = 0;
+  errno = 0;
+  const pid_t r = waitpid(-1, &status, WNOHANG);
+  EXPECT_EQ(r, -1);
+  EXPECT_EQ(errno, ECHILD);
 }
 
 TEST(DatasetsTest, HardInstancesResistKernelization) {

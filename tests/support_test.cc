@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
 
 #include "support/fast_set.h"
+#include "support/mmap_file.h"
 #include "support/random.h"
 #include "support/timer.h"
 
@@ -90,6 +94,46 @@ TEST(FastSetTest, ManyGenerations) {
     s.Clear();
     ASSERT_FALSE(s.Contains(gen % 8));
   }
+}
+
+TEST(MmapFileTest, MapsRegularFileContents) {
+  const std::string path = ::testing::TempDir() + "/rpmis_mmap_test.txt";
+  const std::string payload = "hello mmap\nsecond line\n";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << payload;
+  }
+  MmapFile file = MmapFile::Open(path);
+  EXPECT_EQ(file.view(), payload);
+  EXPECT_TRUE(file.is_mapped());
+  // The view must survive a move (fallback buffers relocate with SSO).
+  MmapFile moved = std::move(file);
+  EXPECT_EQ(moved.view(), payload);
+  std::filesystem::remove(path);
+}
+
+TEST(MmapFileTest, EmptyFileYieldsEmptyView) {
+  const std::string path = ::testing::TempDir() + "/rpmis_mmap_empty.txt";
+  { std::ofstream out(path, std::ios::binary); }
+  MmapFile file = MmapFile::Open(path);
+  EXPECT_TRUE(file.view().empty());
+  std::filesystem::remove(path);
+}
+
+TEST(MmapFileTest, MissingFileThrows) {
+  EXPECT_THROW(MmapFile::Open("/nonexistent/rpmis_mmap"), std::runtime_error);
+}
+
+TEST(ReadStreamToStringTest, SlurpsAcrossChunkBoundaries) {
+  // Larger than the 256KB read chunk so the loop iterates.
+  std::string payload(600000, 'x');
+  for (size_t i = 0; i < payload.size(); i += 997) {
+    payload[i] = static_cast<char>('a' + (i % 26));
+  }
+  std::istringstream in(payload);
+  EXPECT_EQ(ReadStreamToString(in), payload);
+  std::istringstream empty("");
+  EXPECT_EQ(ReadStreamToString(empty), "");
 }
 
 TEST(TimerTest, MonotoneAndRestartable) {

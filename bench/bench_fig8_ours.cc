@@ -16,17 +16,20 @@ using namespace rpmis;
 
 int main(int argc, char** argv) {
   const bool fast = bench::HasFlag(argc, argv, "--fast");
+  const bool per_component = bench::HasFlag(argc, argv, "--per-component");
   bench::PrintHeader(
       "Figure 8 - time & memory: our four algorithms (+ VCSolver reference)",
       "BDOne ~ LinearTime ~ NearLinear in time/memory; BDTwo ~3x memory and "
       "slower; VCSolver one or more orders of magnitude above.");
 
-  const std::vector<bench::NamedAlgorithm> algos = {
-      {"BDOne", [](const Graph& g) { return RunBDOne(g); }},
-      {"BDTwo", [](const Graph& g) { return RunBDTwo(g); }},
-      {"LinearTime", [](const Graph& g) { return RunLinearTime(g); }},
-      {"NearLinear", [](const Graph& g) { return RunNearLinear(g); }},
-  };
+  const std::vector<bench::NamedAlgorithm> algos = bench::MaybePerComponent(
+      {
+          {"BDOne", [](const Graph& g) { return RunBDOne(g); }},
+          {"BDTwo", [](const Graph& g) { return RunBDTwo(g); }},
+          {"LinearTime", [](const Graph& g) { return RunLinearTime(g); }},
+          {"NearLinear", [](const Graph& g) { return RunNearLinear(g); }},
+      },
+      per_component);
 
   TablePrinter time_table(
       {"Graph", "BDOne", "BDTwo", "LinearT", "NearLin", "VCSolver"});

@@ -3,6 +3,9 @@
 // is super-linear on the Theorem 3.1 family while LinearTime stays linear.
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <vector>
+
 #include "baselines/du.h"
 #include "baselines/greedy.h"
 #include "ds/bucket_queue.h"
@@ -13,6 +16,7 @@
 #include "mis/linear_time.h"
 #include "mis/lp_reduction.h"
 #include "mis/near_linear.h"
+#include "mis/per_component.h"
 
 namespace rpmis {
 namespace {
@@ -21,6 +25,98 @@ Graph& PowerLawFixture() {
   static Graph g = ChungLuPowerLaw(50000, 2.1, 5.0, /*seed=*/1);
   return g;
 }
+
+// 100k two-vertex components: the many-tiny-components regime where the
+// old per-component extraction was quadratic (an O(n) renaming array per
+// component).
+Graph& ManyComponentsFixture() {
+  static Graph g = [] {
+    const Vertex pairs = 100000;
+    std::vector<Edge> edges;
+    edges.reserve(pairs);
+    for (Vertex i = 0; i < pairs; ++i) edges.emplace_back(2 * i, 2 * i + 1);
+    return Graph::FromEdges(2 * pairs, edges);
+  }();
+  return g;
+}
+
+// The pre-rewrite RunPerComponent, kept verbatim so the speedup of the
+// shared-renaming extraction stays measurable: per component it copies
+// the member slice and lets InducedSubgraph allocate and fill a fresh
+// size-n map — O(n * #components) total.
+MisSolution RunPerComponentQuadratic(
+    const Graph& g, const std::function<MisSolution(const Graph&)>& algo) {
+  const ComponentInfo cc = ConnectedComponents(g);
+  MisSolution merged;
+  merged.in_set.assign(g.NumVertices(), 0);
+  merged.provably_maximum = true;
+  for (Vertex c = 0; c < cc.num_components; ++c) {
+    std::vector<Vertex> members(cc.members.begin() + cc.offsets[c],
+                                cc.members.begin() + cc.offsets[c + 1]);
+    std::vector<Vertex> old_to_new;
+    const Graph sub = g.InducedSubgraph(members, &old_to_new);
+    const MisSolution part = algo(sub);
+    for (Vertex m : members) {
+      if (part.in_set[old_to_new[m]]) merged.in_set[m] = 1;
+    }
+    merged.MergeStatsFrom(part);
+  }
+  return merged;
+}
+
+void BM_PerComponent_QuadraticOld(benchmark::State& state) {
+  const Graph& g = ManyComponentsFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunPerComponentQuadratic(
+        g, [](const Graph& sub) { return RunLinearTime(sub); }));
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumVertices());
+}
+BENCHMARK(BM_PerComponent_QuadraticOld)->Unit(benchmark::kMillisecond);
+
+void BM_PerComponent_Serial(benchmark::State& state) {
+  const Graph& g = ManyComponentsFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunPerComponent(
+        g, [](const Graph& sub) { return RunLinearTime(sub); }));
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumVertices());
+}
+BENCHMARK(BM_PerComponent_Serial)->Unit(benchmark::kMillisecond);
+
+void BM_PerComponent_Parallel(benchmark::State& state) {
+  const Graph& g = ManyComponentsFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunPerComponentParallel(
+        g, [](const Graph& sub) { return RunLinearTime(sub); }));
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumVertices());
+}
+BENCHMARK(BM_PerComponent_Parallel)->Unit(benchmark::kMillisecond);
+
+// The balanced-components regime where cross-component parallelism (not
+// the extraction fix) is the win: a handful of mid-sized components.
+void BM_PerComponent_MidComponents(benchmark::State& state) {
+  static Graph g = [] {
+    GraphBuilder b(16 * 20000);
+    for (Vertex c = 0; c < 16; ++c) {
+      const Graph part = ChungLuPowerLaw(20000, 2.1, 5.0, /*seed=*/c + 1);
+      const Vertex base = c * 20000;
+      for (const auto& [u, v] : part.CollectEdges()) b.AddEdge(base + u, base + v);
+    }
+    return b.Build();
+  }();
+  const bool parallel = state.range(0) != 0;
+  for (auto _ : state) {
+    const auto algo = [](const Graph& sub) { return RunLinearTime(sub); };
+    benchmark::DoNotOptimize(parallel ? RunPerComponentParallel(g, algo)
+                                      : RunPerComponent(g, algo));
+  }
+}
+BENCHMARK(BM_PerComponent_MidComponents)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_BucketQueueChurn(benchmark::State& state) {
   const Vertex n = 10000;

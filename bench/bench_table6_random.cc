@@ -21,19 +21,22 @@ using namespace rpmis;
 
 int main(int argc, char** argv) {
   const bool fast = bench::HasFlag(argc, argv, "--fast");
+  const bool per_component = bench::HasFlag(argc, argv, "--per-component");
   bench::PrintHeader(
       "Table 6 - uniform random graphs, average degree 2.00 .. 3.00",
       "All our algorithms certify optima on R1-R3; R4/R5 leave small gaps "
       "with NearLinear/BDTwo closest.");
 
   const Vertex n = fast ? 20000 : 200000;
-  const std::vector<bench::NamedAlgorithm> algos = {
-      {"DU", [](const Graph& g) { return RunDU(g); }},
-      {"SemiE", [](const Graph& g) { return RunSemiE(g); }},
-      {"BDOne", [](const Graph& g) { return RunBDOne(g); }},
-      {"BDTwo", [](const Graph& g) { return RunBDTwo(g); }},
-      {"NearLinear", [](const Graph& g) { return RunNearLinear(g); }},
-  };
+  const std::vector<bench::NamedAlgorithm> algos = bench::MaybePerComponent(
+      {
+          {"DU", [](const Graph& g) { return RunDU(g); }},
+          {"SemiE", [](const Graph& g) { return RunSemiE(g); }},
+          {"BDOne", [](const Graph& g) { return RunBDOne(g); }},
+          {"BDTwo", [](const Graph& g) { return RunBDTwo(g); }},
+          {"NearLinear", [](const Graph& g) { return RunNearLinear(g); }},
+      },
+      per_component);
 
   TablePrinter table({"Graph", "avg d", "best", "DU", "SemiE", "BDOne",
                       "BDTwo", "NearLin"});

@@ -5,7 +5,7 @@
 //   mis_cli <file> [--format=edgelist|dimacs|metis]
 //           [--algo=greedy|du|semie|bdone|bdtwo|lineartime|nearlinear|
 //                   arw-lt|arw-nl|exact]
-//           [--time=SECONDS] [--cover] [--out=solution.txt]
+//           [--time=SECONDS] [--cover] [--out=solution.txt] [--per-component]
 //
 // The solution file lists one selected vertex id per line (original file
 // ids are not preserved for edge lists with sparse ids; the tool reports
@@ -55,7 +55,10 @@ int Usage() {
       << "usage: mis_cli <file> [--format=auto|edgelist|dimacs|metis|binary]\n"
          "               [--algo=greedy|du|semie|bdone|bdtwo|lineartime|\n"
          "                       nearlinear|arw-lt|arw-nl|exact]\n"
-         "               [--time=SECONDS] [--cover] [--out=FILE] [--no-cache]\n";
+         "               [--time=SECONDS] [--cover] [--out=FILE] [--no-cache]\n"
+         "               [--per-component]   (bdone/bdtwo/lineartime/nearlinear:\n"
+         "                solve connected components independently, in parallel\n"
+         "                across RPMIS_THREADS workers)\n";
   return 2;
 }
 
@@ -69,6 +72,8 @@ int main(int argc, char** argv) {
   const double budget = std::stod(OptionValue(argc, argv, "--time", "5"));
   const std::string out_path = OptionValue(argc, argv, "--out", "");
   const bool want_cover = HasOption(argc, argv, "--cover");
+  const bool per_component = HasOption(argc, argv, "--per-component");
+  const PerComponentOptions cc_opts{.parallel = true};
 
   Graph g;
   try {
@@ -105,13 +110,18 @@ int main(int argc, char** argv) {
   } else if (algo == "semie") {
     in_set = RunSemiE(g).in_set;
   } else if (algo == "bdone") {
-    in_set = RunBDOne(g).in_set;
+    in_set = (per_component ? RunBDOnePerComponent(g, cc_opts) : RunBDOne(g))
+                 .in_set;
   } else if (algo == "bdtwo") {
-    in_set = RunBDTwo(g).in_set;
+    in_set = (per_component ? RunBDTwoPerComponent(g, cc_opts) : RunBDTwo(g))
+                 .in_set;
   } else if (algo == "lineartime") {
-    in_set = RunLinearTime(g).in_set;
+    in_set = (per_component ? RunLinearTimePerComponent(g, cc_opts)
+                            : RunLinearTime(g))
+                 .in_set;
   } else if (algo == "nearlinear") {
-    MisSolution sol = RunNearLinear(g);
+    MisSolution sol =
+        per_component ? RunNearLinearPerComponent(g, cc_opts) : RunNearLinear(g);
     if (sol.provably_maximum) certificate = "certified maximum (Theorem 6.1)";
     in_set = std::move(sol.in_set);
   } else if (algo == "arw-lt" || algo == "arw-nl") {

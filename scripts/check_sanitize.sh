@@ -4,6 +4,8 @@
 # The raw-buffer parsers and the threaded CSR build are the code these
 # checks exist for. Override the sanitizer list with, e.g.:
 #   RPMIS_SANITIZE=thread scripts/check_sanitize.sh
+# For a focused TSan pass over the component-parallel solve path with
+# RPMIS_THREADS pinned to 8, use scripts/check_tsan_components.sh.
 set -eu
 
 cd "$(dirname "$0")/.."

@@ -6,6 +6,7 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "support/timer.h"
@@ -43,16 +44,32 @@ ChildMeasurement MeasureInChild(const std::function<void(uint64_t[4])>& body) {
   malloc_trim(0);
 
   // Degraded path when fork/pipe is unavailable: measure in-process (RSS
-  // delta may be polluted by the parent's history).
-  auto measure_in_process = [&] {
+  // delta may be polluted by the parent's history). The contract must
+  // match the forked path: ok = true only for a run that completed
+  // normally, and a failed run (here: body throwing — the analogue of a
+  // crashed child) yields a default result, never a partially-filled
+  // payload. `body` therefore writes into a local report that is only
+  // surfaced on success.
+  auto measure_in_process = [&]() -> ChildMeasurement {
+    ChildMeasurement report;
     const uint64_t before = PeakRssKb();
     Timer t;
-    body(out.payload);
-    out.seconds = t.Seconds();
-    out.peak_rss_delta_kb = PeakRssKb() - before;
-    out.ok = true;
-    return out;
+    try {
+      body(report.payload);
+    } catch (...) {
+      return ChildMeasurement{};
+    }
+    report.seconds = t.Seconds();
+    report.peak_rss_delta_kb = PeakRssKb() - before;
+    report.ok = true;
+    return report;
   };
+
+  // Test hook (and escape hatch for fork-hostile environments): force the
+  // in-process fallback so its behaviour is exercisable deterministically.
+  if (const char* env = std::getenv("RPMIS_MEASURE_IN_PROCESS")) {
+    if (env[0] != '\0' && env[0] != '0') return measure_in_process();
+  }
 
   int pipe_fd[2];
   if (pipe(pipe_fd) != 0) return measure_in_process();

@@ -28,10 +28,12 @@ struct ChildMeasurement {
 
 /// Forks, runs `body` in the child (which may fill `payload`), and
 /// returns wall time + peak-RSS growth attributable to the run. Falls
-/// back to in-process measurement when fork/pipe is unavailable. If the
-/// child crashes, is killed by a signal, or exits nonzero, the result has
-/// ok = false and a zeroed payload (never partial data), and the child is
-/// reaped in every branch.
+/// back to in-process measurement when fork/pipe is unavailable (or when
+/// the RPMIS_MEASURE_IN_PROCESS environment variable is set non-zero —
+/// the test hook for that path). Both paths share one contract: a failed
+/// run — child crash, signal, nonzero exit, or `body` throwing in the
+/// fallback — yields ok = false with a zeroed payload (never partial
+/// data), and any forked child is reaped in every branch.
 ChildMeasurement MeasureInChild(const std::function<void(uint64_t payload[4])>& body);
 
 /// In-process wall-time measurement.

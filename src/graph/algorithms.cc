@@ -1,6 +1,8 @@
 #include "graph/algorithms.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 #include "ds/bucket_queue.h"
 
@@ -30,20 +32,62 @@ ComponentInfo ConnectedComponents(const Graph& g) {
     }
   }
 
-  // Group members by component with a counting sort.
+  // Group members by component with a counting sort; scanning v in
+  // increasing order is what makes each slice sorted (see the header
+  // contract). The offsets array doubles as the placement cursor and is
+  // shifted back afterwards, so no extra size-C scratch is needed.
   info.offsets.assign(static_cast<size_t>(info.num_components) + 1, 0);
   for (Vertex v = 0; v < n; ++v) ++info.offsets[info.component_id[v] + 1];
   for (size_t c = 1; c < info.offsets.size(); ++c) info.offsets[c] += info.offsets[c - 1];
   info.members.resize(n);
-  std::vector<uint64_t> cursor(info.offsets.begin(), info.offsets.end() - 1);
-  for (Vertex v = 0; v < n; ++v) info.members[cursor[info.component_id[v]]++] = v;
+  for (Vertex v = 0; v < n; ++v) info.members[info.offsets[info.component_id[v]]++] = v;
+  for (size_t c = info.offsets.size() - 1; c > 0; --c) info.offsets[c] = info.offsets[c - 1];
+  info.offsets[0] = 0;
   return info;
+}
+
+ComponentExtractor::ComponentExtractor(const Graph& g, ComponentInfo cc)
+    : g_(&g), cc_(std::move(cc)) {
+  RPMIS_ASSERT(cc_.component_id.size() == g.NumVertices());
+  local_id_.resize(g.NumVertices());
+  for (Vertex c = 0; c < cc_.num_components; ++c) {
+    const uint64_t begin = cc_.offsets[c];
+    for (uint64_t i = begin; i < cc_.offsets[c + 1]; ++i) {
+      local_id_[cc_.members[i]] = static_cast<Vertex>(i - begin);
+    }
+  }
+}
+
+Graph ComponentExtractor::Extract(Vertex c) const {
+  const std::span<const Vertex> members = cc_.Members(c);
+  std::vector<uint64_t> offsets(members.size() + 1);
+  offsets[0] = 0;
+  for (size_t i = 0; i < members.size(); ++i) {
+    offsets[i + 1] = offsets[i] + g_->Degree(members[i]);
+  }
+  std::vector<Vertex> neighbors;
+  neighbors.reserve(offsets.back());
+  // Every neighbour is in the same component, and the monotonic renaming
+  // keeps each (sorted) adjacency slice sorted, so the arrays below are a
+  // valid CSR as-is — no normalization pass.
+  for (Vertex v : members) {
+    for (Vertex w : g_->Neighbors(v)) neighbors.push_back(local_id_[w]);
+  }
+  return Graph::FromCsr(std::move(offsets), std::move(neighbors));
+}
+
+void CheckEdgeIdsFit32Bits(uint64_t directed_edges) {
+  if (directed_edges >= static_cast<uint64_t>(kInvalidVertex)) {
+    throw std::runtime_error(
+        "rpmis::algorithms: graph too large for 32-bit edge ids (" +
+        std::to_string(directed_edges) + " directed edges, limit " +
+        std::to_string(static_cast<uint64_t>(kInvalidVertex) - 1) + ")");
+  }
 }
 
 std::vector<uint32_t> ReverseEdgeIndex(const Graph& g) {
   const uint64_t directed = 2 * g.NumEdges();
-  RPMIS_ASSERT_MSG(directed < static_cast<uint64_t>(kInvalidVertex),
-                   "graph too large for 32-bit edge ids");
+  CheckEdgeIdsFit32Bits(directed);
   std::vector<uint32_t> rev(directed);
   for (Vertex v = 0; v < g.NumVertices(); ++v) {
     const auto nb = g.Neighbors(v);
@@ -61,7 +105,7 @@ std::vector<uint32_t> ReverseEdgeIndex(const Graph& g) {
 
 std::vector<uint32_t> EdgeTriangleCounts(const Graph& g) {
   const uint64_t directed = 2 * g.NumEdges();
-  RPMIS_ASSERT(directed < static_cast<uint64_t>(kInvalidVertex));
+  CheckEdgeIdsFit32Bits(directed);
   std::vector<uint32_t> delta(directed, 0);
   const std::vector<uint32_t> rev = ReverseEdgeIndex(g);
   for (Vertex u = 0; u < g.NumVertices(); ++u) {

@@ -8,6 +8,7 @@
 #define RPMIS_GRAPH_ALGORITHMS_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -19,17 +20,69 @@ struct ComponentInfo {
   std::vector<Vertex> component_id;  // per vertex, in [0, num_components)
   Vertex num_components = 0;
   /// Vertices grouped by component, concatenated; component c occupies
-  /// [offsets[c], offsets[c+1]).
+  /// [offsets[c], offsets[c+1]). Within each component, members appear in
+  /// increasing vertex id order (counting sort) — the renaming old id ->
+  /// slice position is therefore monotonic, which keeps renamed adjacency
+  /// lists sorted (ComponentExtractor relies on this).
   std::vector<Vertex> members;
   std::vector<uint64_t> offsets;
+
+  /// View of component c's member list (no copy).
+  std::span<const Vertex> Members(Vertex c) const {
+    RPMIS_DASSERT(c < num_components);
+    return {members.data() + offsets[c], members.data() + offsets[c + 1]};
+  }
 };
 
-/// Computes connected components by BFS. O(n + m).
+/// Computes connected components by a non-recursive BFS over one reusable
+/// frontier. O(n + m), no per-component allocation.
 ComponentInfo ConnectedComponents(const Graph& g);
 
+/// Extracts the connected components of a graph as standalone graphs in
+/// O(n_c + m_c) each (O(n + m) for all of them together): the old->new
+/// renaming is one shared array filled once, and each component's CSR is
+/// assembled directly — no per-component size-n scratch, no edge-list
+/// round trip. Extract() is const and safe to call concurrently for
+/// different (or equal) components, which is what RunPerComponentParallel
+/// does.
+class ComponentExtractor {
+ public:
+  /// Labels components and builds the shared renaming. O(n + m).
+  explicit ComponentExtractor(const Graph& g)
+      : ComponentExtractor(g, ConnectedComponents(g)) {}
+
+  /// Reuses an existing labelling of exactly this graph.
+  ComponentExtractor(const Graph& g, ComponentInfo cc);
+
+  Vertex NumComponents() const { return cc_.num_components; }
+  const ComponentInfo& Components() const { return cc_; }
+  std::span<const Vertex> Members(Vertex c) const { return cc_.Members(c); }
+
+  /// Position of v inside its component slice, i.e. v's id in Extract()'s
+  /// output for component_id[v].
+  Vertex LocalId(Vertex v) const { return local_id_[v]; }
+
+  /// Builds component c as a standalone graph. Local ids preserve the
+  /// relative order of the original ids (Members(c)[i] -> i).
+  Graph Extract(Vertex c) const;
+
+ private:
+  const Graph* g_;
+  ComponentInfo cc_;
+  std::vector<Vertex> local_id_;  // old id -> position within its slice
+};
+
+/// Validates that a directed edge count fits the 32-bit edge ids used by
+/// ReverseEdgeIndex / EdgeTriangleCounts (the paper's 4m-int space
+/// budget). Throws std::runtime_error naming the offending count instead
+/// of asserting, so callers feeding multi-billion-edge graphs get a
+/// diagnosable failure. Exposed for tests (the limit itself is not
+/// reachable with test-sized graphs).
+void CheckEdgeIdsFit32Bits(uint64_t directed_edges);
+
 /// Per-directed-edge reverse index: for the directed edge id e representing
-/// (u, v), result[e] is the id of (v, u). O(m log Δ). Asserts that the
-/// directed edge count fits in 32 bits (the paper's 4m-int space budget).
+/// (u, v), result[e] is the id of (v, u). O(m log Δ). Throws via
+/// CheckEdgeIdsFit32Bits when the directed edge count exceeds 32 bits.
 std::vector<uint32_t> ReverseEdgeIndex(const Graph& g);
 
 /// Per-directed-edge triangle counts δ(u, v) = |N(u) ∩ N(v)| (Lemma 5.2).

@@ -116,4 +116,11 @@ MisSolution RunBDOne(const Graph& g, KernelSnapshot* capture) {
   return sol;
 }
 
+MisSolution RunBDOnePerComponent(const Graph& g,
+                                 const PerComponentOptions& opts) {
+  const auto algo = [](const Graph& sub) { return RunBDOne(sub); };
+  return opts.parallel ? RunPerComponentParallel(g, algo)
+                       : RunPerComponent(g, algo);
+}
+
 }  // namespace rpmis

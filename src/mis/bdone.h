@@ -8,6 +8,7 @@
 #define RPMIS_MIS_BDONE_H_
 
 #include "graph/graph.h"
+#include "mis/per_component.h"
 #include "mis/solution.h"
 
 namespace rpmis {
@@ -15,6 +16,12 @@ namespace rpmis {
 /// Computes a maximal independent set of g with BDOne. If `capture` is
 /// non-null it receives the kernel graph right before the first peel.
 MisSolution RunBDOne(const Graph& g, KernelSnapshot* capture = nullptr);
+
+/// Component-wise BDOne: runs RunBDOne on every connected component
+/// independently (concurrently when opts.parallel) and merges. Output is
+/// independent of the thread count.
+MisSolution RunBDOnePerComponent(const Graph& g,
+                                 const PerComponentOptions& opts = {});
 
 }  // namespace rpmis
 

@@ -156,4 +156,11 @@ MisSolution RunBDTwo(const Graph& g) {
   return sol;
 }
 
+MisSolution RunBDTwoPerComponent(const Graph& g,
+                                 const PerComponentOptions& opts) {
+  const auto algo = [](const Graph& sub) { return RunBDTwo(sub); };
+  return opts.parallel ? RunPerComponentParallel(g, algo)
+                       : RunPerComponent(g, algo);
+}
+
 }  // namespace rpmis

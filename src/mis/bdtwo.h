@@ -10,12 +10,20 @@
 #define RPMIS_MIS_BDTWO_H_
 
 #include "graph/graph.h"
+#include "mis/per_component.h"
 #include "mis/solution.h"
 
 namespace rpmis {
 
 /// Computes a maximal independent set of g with BDTwo.
 MisSolution RunBDTwo(const Graph& g);
+
+/// Component-wise BDTwo: runs RunBDTwo on every connected component
+/// independently (concurrently when opts.parallel) and merges. Output is
+/// independent of the thread count. Particularly attractive for BDTwo,
+/// whose 6m-space dynamic representation is then sized per component.
+MisSolution RunBDTwoPerComponent(const Graph& g,
+                                 const PerComponentOptions& opts = {});
 
 }  // namespace rpmis
 

@@ -289,4 +289,11 @@ MisSolution RunLinearTime(const Graph& g, KernelSnapshot* capture) {
   return sol;
 }
 
+MisSolution RunLinearTimePerComponent(const Graph& g,
+                                      const PerComponentOptions& opts) {
+  const auto algo = [](const Graph& sub) { return RunLinearTime(sub); };
+  return opts.parallel ? RunPerComponentParallel(g, algo)
+                       : RunPerComponent(g, algo);
+}
+
 }  // namespace rpmis

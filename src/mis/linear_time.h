@@ -21,6 +21,7 @@
 #define RPMIS_MIS_LINEAR_TIME_H_
 
 #include "graph/graph.h"
+#include "mis/per_component.h"
 #include "mis/solution.h"
 
 namespace rpmis {
@@ -28,6 +29,12 @@ namespace rpmis {
 /// Computes a maximal independent set of g with LinearTime. If `capture`
 /// is non-null it receives the kernel right before the first peel.
 MisSolution RunLinearTime(const Graph& g, KernelSnapshot* capture = nullptr);
+
+/// Component-wise LinearTime: runs RunLinearTime on every connected
+/// component independently (concurrently when opts.parallel) and merges.
+/// Output is independent of the thread count.
+MisSolution RunLinearTimePerComponent(const Graph& g,
+                                      const PerComponentOptions& opts = {});
 
 }  // namespace rpmis
 

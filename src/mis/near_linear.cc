@@ -548,4 +548,14 @@ MisSolution RunNearLinear(const Graph& g, KernelSnapshot* capture,
   return sol;
 }
 
+MisSolution RunNearLinearPerComponent(const Graph& g,
+                                      const PerComponentOptions& opts,
+                                      const NearLinearOptions& options) {
+  const auto algo = [options](const Graph& sub) {
+    return RunNearLinear(sub, nullptr, options);
+  };
+  return opts.parallel ? RunPerComponentParallel(g, algo)
+                       : RunPerComponent(g, algo);
+}
+
 }  // namespace rpmis

@@ -13,6 +13,7 @@
 #define RPMIS_MIS_NEAR_LINEAR_H_
 
 #include "graph/graph.h"
+#include "mis/per_component.h"
 #include "mis/solution.h"
 
 namespace rpmis {
@@ -26,6 +27,13 @@ struct NearLinearOptions {
 /// is non-null it receives the kernel right before the first peel.
 MisSolution RunNearLinear(const Graph& g, KernelSnapshot* capture = nullptr,
                           const NearLinearOptions& options = {});
+
+/// Component-wise NearLinear: runs RunNearLinear (with `options`) on
+/// every connected component independently (concurrently when
+/// opts.parallel) and merges. Output is independent of the thread count.
+MisSolution RunNearLinearPerComponent(const Graph& g,
+                                      const PerComponentOptions& opts = {},
+                                      const NearLinearOptions& options = {});
 
 /// The standalone one-pass dominance prepass: processes vertices in
 /// decreasing degree order and deletes every vertex dominated by a

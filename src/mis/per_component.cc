@@ -1,50 +1,94 @@
 #include "mis/per_component.h"
 
+#include <algorithm>
+#include <exception>
+#include <numeric>
+#include <vector>
+
 #include "graph/algorithms.h"
+#include "support/parallel.h"
 
 namespace rpmis {
 
 namespace {
 
-void AddCounters(const RuleCounters& from, RuleCounters* to) {
-  to->degree_zero += from.degree_zero;
-  to->degree_one += from.degree_one;
-  to->degree_two_isolation += from.degree_two_isolation;
-  to->degree_two_folding += from.degree_two_folding;
-  to->degree_two_path += from.degree_two_path;
-  to->dominance += from.dominance;
-  to->one_pass_dominance += from.one_pass_dominance;
-  to->lp += from.lp;
-  to->twin += from.twin;
-  to->unconfined += from.unconfined;
-  to->peels += from.peels;
+// Scatters a component solution into the merged one. Local ids are slice
+// positions (ComponentExtractor's contract), so part.in_set[i] belongs to
+// members[i].
+void MergePart(const MisSolution& part, std::span<const Vertex> members,
+               MisSolution* merged) {
+  RPMIS_ASSERT(part.in_set.size() == members.size());
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (part.in_set[i]) merged->in_set[members[i]] = 1;
+  }
+  merged->MergeStatsFrom(part);
 }
 
 }  // namespace
 
 MisSolution RunPerComponent(
     const Graph& g, const std::function<MisSolution(const Graph&)>& algo) {
-  const ComponentInfo cc = ConnectedComponents(g);
+  const ComponentExtractor extractor(g);
   MisSolution merged;
   merged.in_set.assign(g.NumVertices(), 0);
   merged.provably_maximum = true;
 
-  for (Vertex c = 0; c < cc.num_components; ++c) {
-    std::vector<Vertex> members(cc.members.begin() + cc.offsets[c],
-                                cc.members.begin() + cc.offsets[c + 1]);
-    std::vector<Vertex> old_to_new;
-    const Graph sub = g.InducedSubgraph(members, &old_to_new);
-    const MisSolution part = algo(sub);
-    for (Vertex m : members) {
-      if (part.in_set[old_to_new[m]]) merged.in_set[m] = 1;
+  for (Vertex c = 0; c < extractor.NumComponents(); ++c) {
+    const MisSolution part = algo(extractor.Extract(c));
+    MergePart(part, extractor.Members(c), &merged);
+  }
+  return merged;
+}
+
+MisSolution RunPerComponentParallel(
+    const Graph& g, const std::function<MisSolution(const Graph&)>& algo) {
+  // With one worker the schedule degenerates to ascending component ids,
+  // which is exactly the serial runner (including its first-error
+  // behaviour: the lowest failing component throws first) — skip the
+  // per-component result slots and claim counter.
+  if (NumThreads() <= 1) return RunPerComponent(g, algo);
+
+  const ComponentExtractor extractor(g);
+  const Vertex num_components = extractor.NumComponents();
+
+  // Largest-first claim order: RunParallel hands out task indices in
+  // increasing order, so sorting by descending size starts the heaviest
+  // components before the long tail of tiny ones fills the idle slots
+  // (classic LPT balancing). Ties break towards lower component ids,
+  // keeping the schedule itself deterministic.
+  std::vector<Vertex> order(num_components);
+  std::iota(order.begin(), order.end(), Vertex{0});
+  const auto& offsets = extractor.Components().offsets;
+  std::sort(order.begin(), order.end(), [&](Vertex a, Vertex b) {
+    const uint64_t size_a = offsets[a + 1] - offsets[a];
+    const uint64_t size_b = offsets[b + 1] - offsets[b];
+    return size_a != size_b ? size_a > size_b : a < b;
+  });
+
+  // Solve into per-component slots; exceptions are parked per component
+  // so the one from the lowest component id wins regardless of which
+  // thread hit it first.
+  std::vector<MisSolution> parts(num_components);
+  std::vector<std::exception_ptr> errors(num_components);
+  RunParallel(num_components, [&](size_t i) {
+    const Vertex c = order[i];
+    try {
+      parts[c] = algo(extractor.Extract(c));
+    } catch (...) {
+      errors[c] = std::current_exception();
     }
-    merged.size += part.size;
-    merged.peeled += part.peeled;
-    merged.residual_peeled += part.residual_peeled;
-    merged.kernel_vertices += part.kernel_vertices;
-    merged.kernel_edges += part.kernel_edges;
-    merged.provably_maximum = merged.provably_maximum && part.provably_maximum;
-    AddCounters(part.rules, &merged.rules);
+  });
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  // Serial merge in component-id order: the result is a pure function of
+  // the parts, so it is byte-identical to RunPerComponent's.
+  MisSolution merged;
+  merged.in_set.assign(g.NumVertices(), 0);
+  merged.provably_maximum = true;
+  for (Vertex c = 0; c < num_components; ++c) {
+    MergePart(parts[c], extractor.Members(c), &merged);
   }
   return merged;
 }

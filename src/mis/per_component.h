@@ -5,6 +5,14 @@
 // certificates (the merged solution is provably maximum iff every
 // component's part is), and bounds add up. Useful when a graph has many
 // mid-sized components (e.g. after filtering a larger network).
+//
+// Extraction is O(n + m) TOTAL across all components: one shared
+// old->local renaming array built once, and each component's CSR
+// assembled directly from the parent graph (graph/algorithms.h,
+// ComponentExtractor) — no per-component size-n scratch. The parallel
+// runner schedules components largest-first over the support/parallel
+// pool (RPMIS_THREADS-aware) and merges in component-id order, so its
+// output is byte-identical to the serial runner at any thread count.
 #ifndef RPMIS_MIS_PER_COMPONENT_H_
 #define RPMIS_MIS_PER_COMPONENT_H_
 
@@ -15,10 +23,31 @@
 
 namespace rpmis {
 
+/// Options for the Run*PerComponent solver entry points.
+struct PerComponentOptions {
+  /// Schedule components across the support/parallel pool. The algorithm
+  /// must then be safe to invoke concurrently on distinct graphs.
+  bool parallel = false;
+};
+
 /// Runs `algo` on each connected component of g independently and merges
 /// the results (sizes, peel/residual counts and rule counters add;
-/// provably_maximum is the conjunction).
+/// provably_maximum is the conjunction). O(n + m) plus the algorithm's
+/// own cost.
 MisSolution RunPerComponent(
+    const Graph& g, const std::function<MisSolution(const Graph&)>& algo);
+
+/// Like RunPerComponent, but solves components concurrently on up to
+/// NumThreads() threads. Components are claimed largest-first so a heavy
+/// tail component starts early and short ones fill the remaining slots;
+/// results are still merged serially in component-id order, making the
+/// output byte-identical to RunPerComponent for a deterministic `algo`,
+/// at any RPMIS_THREADS value. If `algo` throws for several components,
+/// the exception of the lowest-numbered failing component propagates
+/// (deterministic first-error, matching the ingest runner's contract).
+/// `algo` is invoked concurrently and must not share mutable state across
+/// calls.
+MisSolution RunPerComponentParallel(
     const Graph& g, const std::function<MisSolution(const Graph&)>& algo);
 
 }  // namespace rpmis

@@ -2,6 +2,31 @@
 
 namespace rpmis {
 
+RuleCounters& RuleCounters::operator+=(const RuleCounters& other) {
+  degree_zero += other.degree_zero;
+  degree_one += other.degree_one;
+  degree_two_isolation += other.degree_two_isolation;
+  degree_two_folding += other.degree_two_folding;
+  degree_two_path += other.degree_two_path;
+  dominance += other.dominance;
+  one_pass_dominance += other.one_pass_dominance;
+  lp += other.lp;
+  twin += other.twin;
+  unconfined += other.unconfined;
+  peels += other.peels;
+  return *this;
+}
+
+void MisSolution::MergeStatsFrom(const MisSolution& part) {
+  size += part.size;
+  peeled += part.peeled;
+  residual_peeled += part.residual_peeled;
+  kernel_vertices += part.kernel_vertices;
+  kernel_edges += part.kernel_edges;
+  provably_maximum = provably_maximum && part.provably_maximum;
+  rules += part.rules;
+}
+
 uint64_t ExtendToMaximal(const Graph& g, std::vector<uint8_t>& in_set) {
   RPMIS_ASSERT(in_set.size() == g.NumVertices());
   uint64_t added = 0;

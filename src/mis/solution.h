@@ -28,6 +28,9 @@ struct RuleCounters {
     return degree_zero + degree_one + degree_two_isolation + degree_two_folding +
            degree_two_path + dominance + one_pass_dominance + lp + twin + unconfined;
   }
+
+  /// Field-wise accumulation (merging per-component runs).
+  RuleCounters& operator+=(const RuleCounters& other);
 };
 
 /// A deferred degree-two-path membership decision (Lemma 4.1 cases 3-5).
@@ -78,6 +81,13 @@ struct MisSolution {
   uint64_t kernel_edges = 0;
 
   RuleCounters rules;
+
+  /// Accumulates the scalar statistics of a partial solution (size, peel
+  /// and kernel counts, rule counters; provably_maximum is ANDed).
+  /// `in_set` is untouched — scattering membership flags needs the
+  /// caller's vertex renaming. This is the one merge routine shared by
+  /// every component-wise runner.
+  void MergeStatsFrom(const MisSolution& part);
 
   /// Recomputes `size` from `in_set` (used after post-processing passes).
   void RecountSize() {

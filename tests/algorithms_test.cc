@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+#include <vector>
+
 #include "graph/generators.h"
 
 namespace rpmis {
@@ -28,6 +32,73 @@ TEST(ConnectedComponentsTest, CountsComponents) {
 TEST(ConnectedComponentsTest, SingleComponent) {
   Graph g = CycleGraph(10);
   EXPECT_EQ(ConnectedComponents(g).num_components, 1u);
+}
+
+TEST(ConnectedComponentsTest, MembersAreSortedWithinEachComponent) {
+  // The header contract ComponentExtractor relies on: each Members(c)
+  // slice is in increasing vertex id order.
+  Graph g = ErdosRenyiGnm(500, 260, /*seed=*/7);  // subcritical, many comps
+  ComponentInfo cc = ConnectedComponents(g);
+  EXPECT_GT(cc.num_components, 1u);
+  for (Vertex c = 0; c < cc.num_components; ++c) {
+    const auto members = cc.Members(c);
+    for (size_t i = 1; i < members.size(); ++i) {
+      EXPECT_LT(members[i - 1], members[i]);
+    }
+  }
+}
+
+TEST(ComponentExtractorTest, MatchesInducedSubgraph) {
+  Graph g = ErdosRenyiGnm(300, 200, /*seed=*/11);
+  const ComponentExtractor extractor(g);
+  uint64_t total_vertices = 0, total_edges = 0;
+  for (Vertex c = 0; c < extractor.NumComponents(); ++c) {
+    const auto members = extractor.Members(c);
+    const Graph sub = extractor.Extract(c);
+    ASSERT_EQ(sub.NumVertices(), members.size());
+    // Same graph as the generic (slow-path) InducedSubgraph.
+    std::vector<Vertex> old_to_new;
+    const Graph reference = g.InducedSubgraph(members, &old_to_new);
+    EXPECT_EQ(sub.NumEdges(), reference.NumEdges());
+    EXPECT_EQ(sub.CollectEdges(), reference.CollectEdges());
+    // Local ids are slice positions.
+    for (size_t i = 0; i < members.size(); ++i) {
+      EXPECT_EQ(extractor.LocalId(members[i]), i);
+      EXPECT_EQ(old_to_new[members[i]], i);
+    }
+    total_vertices += members.size();
+    total_edges += sub.NumEdges();
+  }
+  EXPECT_EQ(total_vertices, g.NumVertices());
+  EXPECT_EQ(total_edges, g.NumEdges());
+}
+
+TEST(ComponentExtractorTest, EmptyAndEdgelessGraphs) {
+  const ComponentExtractor none(Graph{});
+  EXPECT_EQ(none.NumComponents(), 0u);
+  Graph isolated = Graph::FromEdges(3, std::vector<Edge>{});
+  const ComponentExtractor three(isolated);
+  ASSERT_EQ(three.NumComponents(), 3u);
+  for (Vertex c = 0; c < 3; ++c) {
+    const Graph sub = three.Extract(c);
+    EXPECT_EQ(sub.NumVertices(), 1u);
+    EXPECT_EQ(sub.NumEdges(), 0u);
+  }
+}
+
+TEST(EdgeIdLimitTest, OverflowIsDiagnosable) {
+  // 2^32-1 directed edges no longer fit 32-bit ids; the error must name
+  // the offending count (the limit itself is unreachable with test-sized
+  // graphs, hence the exposed checker).
+  EXPECT_NO_THROW(CheckEdgeIdsFit32Bits((1ull << 32) - 2));
+  try {
+    CheckEdgeIdsFit32Bits(9876543210ull);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("9876543210"), std::string::npos) << what;
+    EXPECT_NE(what.find("32-bit"), std::string::npos) << what;
+  }
 }
 
 TEST(ReverseEdgeIndexTest, MirrorsAreInvolution) {

@@ -5,7 +5,9 @@
 
 #include <cerrno>
 #include <csignal>
+#include <cstdlib>
 #include <sstream>
+#include <stdexcept>
 
 #include "benchkit/datasets.h"
 #include "benchkit/run.h"
@@ -111,6 +113,39 @@ TEST(RunTest, MeasureInChildReportsSignalledChild) {
   });
   EXPECT_FALSE(m.ok);
   for (uint64_t v : m.payload) EXPECT_EQ(v, 0u);
+}
+
+TEST(RunTest, MeasureInChildInProcessFallbackReportsOk) {
+  // Force the degraded no-fork path and check it honours the same
+  // contract as the forked path: ok = true with the payload filled.
+  setenv("RPMIS_MEASURE_IN_PROCESS", "1", 1);
+  ChildMeasurement m = MeasureInChild([](uint64_t payload[4]) {
+    payload[0] = 42;
+    payload[3] = 7;
+  });
+  unsetenv("RPMIS_MEASURE_IN_PROCESS");
+  ASSERT_TRUE(m.ok);
+  EXPECT_EQ(m.payload[0], 42u);
+  EXPECT_EQ(m.payload[3], 7u);
+  EXPECT_GE(m.seconds, 0.0);
+}
+
+TEST(RunTest, MeasureInChildInProcessFallbackNeverReturnsPartialPayload) {
+  // Regression: a body that throws mid-fill used to leave the payload
+  // half-written with ok unset but the fields dirty. The fallback must
+  // behave like a crashed child: ok = false, everything zeroed, and the
+  // exception must not escape to the caller.
+  setenv("RPMIS_MEASURE_IN_PROCESS", "1", 1);
+  ChildMeasurement m = MeasureInChild([](uint64_t payload[4]) {
+    payload[0] = 99;
+    payload[1] = 100;
+    throw std::runtime_error("solver blew up");
+  });
+  unsetenv("RPMIS_MEASURE_IN_PROCESS");
+  EXPECT_FALSE(m.ok);
+  for (uint64_t v : m.payload) EXPECT_EQ(v, 0u);
+  EXPECT_EQ(m.peak_rss_delta_kb, 0u);
+  EXPECT_EQ(m.seconds, 0.0);
 }
 
 TEST(RunTest, MeasureInChildLeavesNoZombies) {

@@ -6,6 +6,7 @@
 //           [--algo=greedy|du|semie|bdone|bdtwo|lineartime|nearlinear|
 //                   arw-lt|arw-nl|exact]
 //           [--time=SECONDS] [--cover] [--out=solution.txt] [--per-component]
+//           [--stats] [--no-compaction] [--compaction-threshold=F]
 //
 // The solution file lists one selected vertex id per line (original file
 // ids are not preserved for edge lists with sparse ids; the tool reports
@@ -18,6 +19,7 @@
 #include "baselines/du.h"
 #include "baselines/greedy.h"
 #include "baselines/semi_external.h"
+#include "benchkit/stats.h"
 #include "exact/vc_solver.h"
 #include "graph/io.h"
 #include "localsearch/boosted.h"
@@ -58,7 +60,13 @@ int Usage() {
          "               [--time=SECONDS] [--cover] [--out=FILE] [--no-cache]\n"
          "               [--per-component]   (bdone/bdtwo/lineartime/nearlinear:\n"
          "                solve connected components independently, in parallel\n"
-         "                across RPMIS_THREADS workers)\n";
+         "                across RPMIS_THREADS workers)\n"
+         "               [--stats]           (print per-run reduction/compaction\n"
+         "                counters; bdone/bdtwo/lineartime/nearlinear only)\n"
+         "               [--no-compaction] [--compaction-threshold=F]\n"
+         "                (mid-run alive-subgraph rebuilds; F in (0,1], rebuild\n"
+         "                when active < F * last build, default 0.5; the\n"
+         "                solution is identical either way)\n";
   return 2;
 }
 
@@ -73,7 +81,16 @@ int main(int argc, char** argv) {
   const std::string out_path = OptionValue(argc, argv, "--out", "");
   const bool want_cover = HasOption(argc, argv, "--cover");
   const bool per_component = HasOption(argc, argv, "--per-component");
+  const bool want_stats = HasOption(argc, argv, "--stats");
   const PerComponentOptions cc_opts{.parallel = true};
+  CompactionOptions compaction;
+  compaction.enabled = !HasOption(argc, argv, "--no-compaction");
+  compaction.threshold =
+      std::stod(OptionValue(argc, argv, "--compaction-threshold", "0.5"));
+  if (!(compaction.threshold > 0.0 && compaction.threshold <= 1.0)) {
+    std::cerr << "--compaction-threshold must be in (0, 1]\n";
+    return 2;
+  }
 
   Graph g;
   try {
@@ -103,6 +120,11 @@ int main(int argc, char** argv) {
   Timer timer;
   std::vector<uint8_t> in_set;
   std::string certificate;
+  std::string stats_report;
+  const auto take = [&](MisSolution sol) {
+    if (want_stats) stats_report = FormatSolverStats(sol);
+    in_set = std::move(sol.in_set);
+  };
   if (algo == "greedy") {
     in_set = RunGreedy(g).in_set;
   } else if (algo == "du") {
@@ -110,20 +132,25 @@ int main(int argc, char** argv) {
   } else if (algo == "semie") {
     in_set = RunSemiE(g).in_set;
   } else if (algo == "bdone") {
-    in_set = (per_component ? RunBDOnePerComponent(g, cc_opts) : RunBDOne(g))
-                 .in_set;
+    BDOneOptions opt{.compaction = compaction};
+    take(per_component ? RunBDOnePerComponent(g, cc_opts, opt)
+                       : RunBDOne(g, nullptr, opt));
   } else if (algo == "bdtwo") {
-    in_set = (per_component ? RunBDTwoPerComponent(g, cc_opts) : RunBDTwo(g))
-                 .in_set;
+    BDTwoOptions opt{.compaction = compaction};
+    take(per_component ? RunBDTwoPerComponent(g, cc_opts, opt)
+                       : RunBDTwo(g, opt));
   } else if (algo == "lineartime") {
-    in_set = (per_component ? RunLinearTimePerComponent(g, cc_opts)
-                            : RunLinearTime(g))
-                 .in_set;
+    LinearTimeOptions opt{.compaction = compaction};
+    take(per_component ? RunLinearTimePerComponent(g, cc_opts, opt)
+                       : RunLinearTime(g, nullptr, opt));
   } else if (algo == "nearlinear") {
-    MisSolution sol =
-        per_component ? RunNearLinearPerComponent(g, cc_opts) : RunNearLinear(g);
+    NearLinearOptions opt;
+    opt.compaction = compaction;
+    MisSolution sol = per_component
+                          ? RunNearLinearPerComponent(g, cc_opts, opt)
+                          : RunNearLinear(g, nullptr, opt);
     if (sol.provably_maximum) certificate = "certified maximum (Theorem 6.1)";
-    in_set = std::move(sol.in_set);
+    take(std::move(sol));
   } else if (algo == "arw-lt" || algo == "arw-nl") {
     BoostedOptions opt;
     opt.time_limit_seconds = budget;
@@ -156,6 +183,13 @@ int main(int argc, char** argv) {
             << ": " << size << " vertices in " << seconds << "s";
   if (!certificate.empty()) std::cerr << " [" << certificate << "]";
   std::cerr << "\n";
+  if (want_stats) {
+    if (stats_report.empty()) {
+      std::cerr << "(--stats: no counters for --algo=" << algo << ")\n";
+    } else {
+      std::cerr << stats_report;
+    }
+  }
 
   std::ostream* out = &std::cout;
   std::ofstream file;

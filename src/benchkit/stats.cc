@@ -1,0 +1,51 @@
+#include "benchkit/stats.h"
+
+#include <sstream>
+
+#include "benchkit/table.h"
+
+namespace rpmis {
+
+namespace {
+
+void AddRule(std::ostringstream& out, const char* name, uint64_t value) {
+  if (value == 0) return;
+  out << "  " << name << ": " << FormatCount(value) << "\n";
+}
+
+}  // namespace
+
+std::string FormatSolverStats(const MisSolution& sol) {
+  std::ostringstream out;
+  out << "solution size: " << FormatCount(sol.size) << "\n";
+  out << "peeled: " << FormatCount(sol.peeled)
+      << "  residual: " << FormatCount(sol.residual_peeled)
+      << "  upper bound: " << FormatCount(sol.UpperBound())
+      << (sol.provably_maximum ? "  (provably maximum)" : "") << "\n";
+  out << "kernel: " << FormatCount(sol.kernel_vertices) << " vertices, "
+      << FormatCount(sol.kernel_edges) << " edges\n";
+  out << "reductions (" << FormatCount(sol.rules.TotalExact()) << " exact):\n";
+  AddRule(out, "degree-zero", sol.rules.degree_zero);
+  AddRule(out, "degree-one", sol.rules.degree_one);
+  AddRule(out, "degree-two isolation", sol.rules.degree_two_isolation);
+  AddRule(out, "degree-two folding", sol.rules.degree_two_folding);
+  AddRule(out, "degree-two path", sol.rules.degree_two_path);
+  AddRule(out, "dominance", sol.rules.dominance);
+  AddRule(out, "one-pass dominance", sol.rules.one_pass_dominance);
+  AddRule(out, "lp", sol.rules.lp);
+  AddRule(out, "twin", sol.rules.twin);
+  AddRule(out, "unconfined", sol.rules.unconfined);
+  AddRule(out, "peels (inexact)", sol.rules.peels);
+  const CompactionStats& c = sol.compaction;
+  out << "compaction: " << FormatCount(c.compactions) << " rebuilds";
+  if (c.compactions > 0) {
+    out << "; scanned " << FormatCount(c.vertices_scanned) << " vertices / "
+        << FormatCount(c.slots_scanned) << " slots; kept "
+        << FormatCount(c.vertices_kept) << " vertices / "
+        << FormatCount(c.slots_kept) << " slots";
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace rpmis

@@ -1,0 +1,19 @@
+// Human-readable per-run counter reports (mis_cli --stats, benches).
+#ifndef RPMIS_BENCHKIT_STATS_H_
+#define RPMIS_BENCHKIT_STATS_H_
+
+#include <string>
+
+#include "mis/solution.h"
+
+namespace rpmis {
+
+/// Multi-line report of a solution's instrumentation: reduction-rule
+/// application counts, peeling/kernel figures, and the compaction
+/// counters (events, vertices/edge-slots scanned and kept). Zero-valued
+/// rule counters are omitted so small runs stay readable.
+std::string FormatSolverStats(const MisSolution& sol);
+
+}  // namespace rpmis
+
+#endif  // RPMIS_BENCHKIT_STATS_H_

@@ -108,29 +108,46 @@ std::vector<uint32_t> EdgeTriangleCounts(const Graph& g) {
   CheckEdgeIdsFit32Bits(directed);
   std::vector<uint32_t> delta(directed, 0);
   const std::vector<uint32_t> rev = ReverseEdgeIndex(g);
-  for (Vertex u = 0; u < g.NumVertices(); ++u) {
-    const auto un = g.Neighbors(u);
-    for (size_t i = 0; i < un.size(); ++i) {
-      const Vertex v = un[i];
-      if (u > v) continue;  // count each undirected edge once
-      // Sorted-merge intersection of N(u) and N(v).
-      const auto vn = g.Neighbors(v);
-      uint32_t count = 0;
-      size_t a = 0, b = 0;
-      while (a < un.size() && b < vn.size()) {
-        if (un[a] < vn[b]) {
+  const Vertex n = g.NumVertices();
+  // plus_begin[v]: first slot of v whose neighbour id exceeds v, i.e. the
+  // start of the "forward" sublist A+(v). Sorted adjacency makes A+ a
+  // contiguous suffix.
+  std::vector<uint64_t> plus_begin(n);
+  for (Vertex v = 0; v < n; ++v) {
+    const auto vn = g.Neighbors(v);
+    plus_begin[v] =
+        g.EdgeBegin(v) + (std::upper_bound(vn.begin(), vn.end(), v) - vn.begin());
+  }
+  // Forward triangle enumeration: every triangle {u < v < w} is discovered
+  // exactly once — while merging the post-v suffix of N(u) against A+(v) for
+  // the edge (u, v) — and credits all three of its edges (both directions
+  // each). Per-edge totals therefore equal |N(u) ∩ N(v)| without ever
+  // re-walking full adjacency lists.
+  for (Vertex u = 0; u < n; ++u) {
+    const uint64_t u_end = g.EdgeEnd(u);
+    for (uint64_t e = plus_begin[u]; e < u_end; ++e) {
+      const Vertex v = g.EdgeTarget(e);
+      const uint64_t v_end = g.EdgeEnd(v);
+      uint64_t a = e + 1;  // slots after v in N(u): ids > v
+      uint64_t b = plus_begin[v];
+      while (a < u_end && b < v_end) {
+        const Vertex wa = g.EdgeTarget(a);
+        const Vertex wb = g.EdgeTarget(b);
+        if (wa < wb) {
           ++a;
-        } else if (un[a] > vn[b]) {
+        } else if (wa > wb) {
           ++b;
         } else {
-          ++count;
+          ++delta[e];
+          ++delta[rev[e]];
+          ++delta[a];
+          ++delta[rev[a]];
+          ++delta[b];
+          ++delta[rev[b]];
           ++a;
           ++b;
         }
       }
-      const uint64_t e = g.EdgeBegin(u) + i;
-      delta[e] = count;
-      delta[rev[e]] = count;
     }
   }
   return delta;

@@ -86,8 +86,11 @@ void CheckEdgeIdsFit32Bits(uint64_t directed_edges);
 std::vector<uint32_t> ReverseEdgeIndex(const Graph& g);
 
 /// Per-directed-edge triangle counts δ(u, v) = |N(u) ∩ N(v)| (Lemma 5.2).
-/// Both directions of an edge carry the same count.
-/// O(sum over edges of d(u) + d(v)) = O(m · Δ), O(m · a(G)) in practice.
+/// Both directions of an edge carry the same count. Forward enumeration
+/// over id-ordered adjacency suffixes: each triangle is discovered once at
+/// its lowest-id edge and credits all three edges, so the merge cost is
+/// O(sum over edges of d⁺(u) + d⁺(v)) — roughly a third of the naive
+/// full-list merges on sparse graphs.
 std::vector<uint32_t> EdgeTriangleCounts(const Graph& g);
 
 /// Total number of triangles in the graph.

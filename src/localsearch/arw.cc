@@ -125,28 +125,31 @@ class ArwState {
     return false;
   }
 
-  /// Exhausts free insertions and (1,2)-swaps starting from `worklist`
-  /// seeds (empty => all solution vertices). Returns the size gain.
-  uint64_t LocalSearch(std::vector<Vertex> worklist) {
+  /// Exhausts free insertions and (1,2)-swaps starting from the seeds left
+  /// in worklist_ by Perturb (empty => all solution vertices). Drains
+  /// worklist_ and returns the size gain. The worklist is a member so the
+  /// hot loop reuses its capacity across the millions of iterations a time
+  /// budget allows instead of reallocating per round.
+  uint64_t LocalSearch() {
     const uint64_t before = size_;
     InsertFreeVertices();
-    if (worklist.empty()) {
+    if (worklist_.empty()) {
       for (Vertex v = 0; v < n_; ++v) {
-        if (in_set_[v]) worklist.push_back(v);
+        if (in_set_[v]) worklist_.push_back(v);
       }
     }
-    while (!worklist.empty()) {
-      const Vertex x = worklist.back();
-      worklist.pop_back();
+    while (!worklist_.empty()) {
+      const Vertex x = worklist_.back();
+      worklist_.pop_back();
       if (!in_set_[x]) continue;
       if (TryOneTwoSwap(x)) {
         InsertFreeVertices();
         // The swap changed tightness around x's former neighbourhood;
         // re-examine nearby solution vertices.
         for (Vertex w : g_.Neighbors(x)) {
-          if (in_set_[w]) worklist.push_back(w);
+          if (in_set_[w]) worklist_.push_back(w);
           for (Vertex y : g_.Neighbors(w)) {
-            if (in_set_[y]) worklist.push_back(y);
+            if (in_set_[y]) worklist_.push_back(y);
           }
         }
       }
@@ -156,11 +159,11 @@ class ArwState {
 
   /// The ARW perturbation: force f vertices in, oldest-outside first among
   /// random probes; f = i+1 with probability 2^-i.
-  /// Returns seeds for the subsequent local search.
-  std::vector<Vertex> Perturb() {
+  /// Seeds the subsequent LocalSearch() through worklist_.
+  void Perturb() {
     uint32_t f = 1;
     while (rng_.NextBool(0.5)) ++f;
-    std::vector<Vertex> seeds;
+    worklist_.clear();
     for (uint32_t i = 0; i < f; ++i) {
       // Probe a few random non-solution vertices, keep the one outside
       // the solution the longest (smallest out_since).
@@ -172,12 +175,11 @@ class ArwState {
       }
       if (best == kInvalidVertex) continue;
       ForceInsert(best);
-      seeds.push_back(best);
+      worklist_.push_back(best);
       for (Vertex w : g_.Neighbors(best)) {
-        if (in_set_[w]) seeds.push_back(w);
+        if (in_set_[w]) worklist_.push_back(w);
       }
     }
-    return seeds;
   }
 
  private:
@@ -192,6 +194,7 @@ class ArwState {
   FastSet mark_;
   FastSet scratch_;
   std::vector<Vertex> candidates_;
+  std::vector<Vertex> worklist_;  // LocalSearch seeds/frontier, reused
   Rng rng_;
 };
 
@@ -216,14 +219,14 @@ ArwResult RunArw(const Graph& g, std::vector<uint8_t> initial,
   };
 
   // First point: one full local-search pass over the initial solution.
-  state.LocalSearch({});
+  state.LocalSearch();
   record_best();
 
   while (timer.Seconds() < options.time_limit_seconds &&
          result.iterations < options.max_iterations) {
     ++result.iterations;
-    std::vector<Vertex> seeds = state.Perturb();
-    state.LocalSearch(std::move(seeds));
+    state.Perturb();
+    state.LocalSearch();
     if (state.Size() > result.size) {
       record_best();
     } else if (state.Size() < result.size) {

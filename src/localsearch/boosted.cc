@@ -12,8 +12,15 @@ BoostedResult RunBoostedArw(const Graph& g, BoostKind kind,
   Timer timer;
   BoostedResult out;
   KernelSnapshot snap;
-  out.base = (kind == BoostKind::kLinearTime) ? RunLinearTime(g, &snap)
-                                              : RunNearLinear(g, &snap);
+  if (kind == BoostKind::kLinearTime) {
+    LinearTimeOptions lt;
+    lt.compaction = options.compaction;
+    out.base = RunLinearTime(g, &snap, lt);
+  } else {
+    NearLinearOptions nl;
+    nl.compaction = options.compaction;
+    out.base = RunNearLinear(g, &snap, nl);
+  }
   RPMIS_ASSERT(snap.captured);
   const Graph& kernel = snap.kernel;
   out.kernel_vertices = kernel.NumVertices();

@@ -1,76 +1,133 @@
 #include "mis/bdone.h"
 
+#include <numeric>
+
 #include "ds/bucket_queue.h"
+#include "mis/compaction.h"
 #include "mis/kernel_capture.h"
 
 namespace rpmis {
 
-namespace {
-
-// Snapshots the alive part of the graph into `capture`. BDOne never
-// rewires edges, so an edge survives iff both endpoints are alive (with
-// positive degree; edgeless alive vertices are already decided).
-void CaptureKernel(const Graph& g, const std::vector<uint8_t>& alive,
-                   const std::vector<uint32_t>& deg,
-                   const std::vector<uint8_t>& in_set, KernelSnapshot* capture) {
-  std::vector<Edge> edges;
-  for (Vertex v = 0; v < g.NumVertices(); ++v) {
-    if (!alive[v] || deg[v] == 0) continue;
-    for (Vertex w : g.Neighbors(v)) {
-      if (v < w && alive[w] && deg[w] > 0) edges.emplace_back(v, w);
-    }
-  }
-  internal::BuildKernelSnapshot(alive, deg, in_set, edges, {}, capture);
-}
-
-}  // namespace
-
-MisSolution RunBDOne(const Graph& g, KernelSnapshot* capture) {
+MisSolution RunBDOne(const Graph& g, KernelSnapshot* capture,
+                     const BDOneOptions& options) {
   const Vertex n = g.NumVertices();
   MisSolution sol;
   sol.in_set.assign(n, 0);
 
+  // Working CSR over the CURRENT vertex universe. Starts as a zero-copy
+  // view of the input; after a compaction it views the owned rebuilt copy
+  // (double-buffered so a rebuild can read its predecessor).
+  std::span<const uint64_t> offsets = g.RawOffsets();
+  std::span<const Vertex> adj = g.RawNeighbors();
+  std::vector<uint64_t> own_offsets[2];
+  std::vector<Vertex> own_adj[2];
+  int buffer = 0;
+
+  // Current id -> input id (identity until the first compaction). Decisions
+  // (in_set, peeled) are always recorded in input ids.
+  std::vector<Vertex> to_orig(n);
+  std::iota(to_orig.begin(), to_orig.end(), Vertex{0});
+
   std::vector<uint8_t> alive(n, 1);
-  std::vector<uint8_t> peeled(n, 0);
+  std::vector<uint8_t> peeled(n, 0);  // input-id space
   std::vector<uint32_t> deg(n);
   std::vector<Vertex> v1;  // degree-one worklist (may hold stale entries)
+  Vertex active = 0;       // # vertices with alive && deg > 0
   for (Vertex v = 0; v < n; ++v) {
     deg[v] = g.Degree(v);
     if (deg[v] == 0) {
       sol.in_set[v] = 1;
       ++sol.rules.degree_zero;
-    } else if (deg[v] == 1) {
-      v1.push_back(v);
+    } else {
+      ++active;
+      if (deg[v] == 1) v1.push_back(v);
     }
   }
   LazyMaxBucketQueue peel_queue(deg);
+  CompactionPolicy policy(options.compaction, n);
 
   // Removes v from the graph: neighbours lose a degree; a neighbour
   // reaching degree 0 joins I (it is now isolated, hence safe to take).
   auto delete_vertex = [&](Vertex v) {
-    RPMIS_DASSERT(alive[v]);
+    RPMIS_DASSERT(alive[v] && deg[v] > 0);
     alive[v] = 0;
-    for (Vertex w : g.Neighbors(v)) {
+    --active;
+    for (uint64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+      const Vertex w = adj[e];
       if (!alive[w]) continue;
       if (--deg[w] == 1) {
         v1.push_back(w);
       } else if (deg[w] == 0) {
-        sol.in_set[w] = 1;
+        sol.in_set[to_orig[w]] = 1;
+        --active;
       }
     }
   };
 
+  // Rebuilds every per-vertex structure over the alive, still-undecided
+  // subgraph. Renaming is monotone and slot order is preserved, so every
+  // later scan sees the same neighbour sequence as without compaction and
+  // the output is byte-identical.
+  auto compact = [&]() {
+    const Vertex cur_n = static_cast<Vertex>(to_orig.size());
+    std::vector<uint8_t> keep(cur_n);
+    for (Vertex v = 0; v < cur_n; ++v) keep[v] = alive[v] && deg[v] > 0;
+    VertexRenaming ren = BuildRenaming(keep);
+    const Vertex new_n = static_cast<Vertex>(ren.kept.size());
+    RPMIS_DASSERT(new_n == active);
+    const int nb = buffer ^ 1;
+    CompactCsr(ren, offsets, adj, &own_offsets[nb], &own_adj[nb],
+               /*old_slot_to_new=*/nullptr, &sol.compaction);
+    offsets = own_offsets[nb];
+    adj = own_adj[nb];
+    buffer = nb;
+    std::vector<uint32_t> new_deg(new_n);
+    for (Vertex i = 0; i < new_n; ++i) new_deg[i] = deg[ren.kept[i]];
+    deg = std::move(new_deg);
+    alive.assign(new_n, 1);
+    ComposeToOrig(ren, &to_orig);
+    RemapWorklist(ren, &v1);
+    peel_queue.Compact(new_n, ren.to_new);
+    policy.NoteRebuild(new_n);
+  };
+
+  // Snapshots the alive part of the graph (in input ids). BDOne never
+  // rewires edges, so an edge survives iff both endpoints are alive (with
+  // positive degree; edgeless alive vertices are already decided).
+  auto capture_now = [&]() {
+    std::vector<uint8_t> alive_o(n, 0);
+    std::vector<uint32_t> deg_o(n, 0);
+    const Vertex cur_n = static_cast<Vertex>(to_orig.size());
+    for (Vertex v = 0; v < cur_n; ++v) {
+      alive_o[to_orig[v]] = alive[v];
+      deg_o[to_orig[v]] = deg[v];
+    }
+    std::vector<Edge> edges;
+    for (Vertex v = 0; v < cur_n; ++v) {
+      if (!alive[v] || deg[v] == 0) continue;
+      for (uint64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+        const Vertex w = adj[e];
+        if (v < w && alive[w] && deg[w] > 0) {
+          edges.emplace_back(to_orig[v], to_orig[w]);
+        }
+      }
+    }
+    internal::BuildKernelSnapshot(alive_o, deg_o, sol.in_set, edges, {},
+                                  capture);
+  };
+
   bool peeled_yet = false;
   while (true) {
+    if (policy.ShouldCompact(active)) compact();
     if (!v1.empty()) {
       const Vertex u = v1.back();
       v1.pop_back();
       if (!alive[u] || deg[u] != 1) continue;  // stale entry
       // Degree-one reduction: delete u's unique alive neighbour.
       Vertex nb = kInvalidVertex;
-      for (Vertex w : g.Neighbors(u)) {
-        if (alive[w]) {
-          nb = w;
+      for (uint64_t e = offsets[u]; e < offsets[u + 1]; ++e) {
+        if (alive[adj[e]]) {
+          nb = adj[e];
           break;
         }
       }
@@ -86,24 +143,22 @@ MisSolution RunBDOne(const Graph& g, KernelSnapshot* capture) {
     if (u == kInvalidVertex) break;
     if (!peeled_yet) {
       peeled_yet = true;
-      sol.kernel_vertices = 0;
+      sol.kernel_vertices = active;
       uint64_t kernel_edges2 = 0;
-      for (Vertex v = 0; v < n; ++v) {
-        if (alive[v] && deg[v] > 0) {
-          ++sol.kernel_vertices;
-          kernel_edges2 += deg[v];
-        }
+      const Vertex cur_n = static_cast<Vertex>(to_orig.size());
+      for (Vertex v = 0; v < cur_n; ++v) {
+        if (alive[v]) kernel_edges2 += deg[v];
       }
       sol.kernel_edges = kernel_edges2 / 2;
-      if (capture != nullptr) CaptureKernel(g, alive, deg, sol.in_set, capture);
+      if (capture != nullptr) capture_now();
     }
-    peeled[u] = 1;
+    peeled[to_orig[u]] = 1;
     ++sol.rules.peels;
     delete_vertex(u);
   }
 
   if (capture != nullptr && !peeled_yet) {
-    CaptureKernel(g, alive, deg, sol.in_set, capture);  // empty kernel
+    capture_now();  // empty kernel
   }
 
   ExtendToMaximal(g, sol.in_set);
@@ -116,9 +171,11 @@ MisSolution RunBDOne(const Graph& g, KernelSnapshot* capture) {
   return sol;
 }
 
-MisSolution RunBDOnePerComponent(const Graph& g,
-                                 const PerComponentOptions& opts) {
-  const auto algo = [](const Graph& sub) { return RunBDOne(sub); };
+MisSolution RunBDOnePerComponent(const Graph& g, const PerComponentOptions& opts,
+                                 const BDOneOptions& options) {
+  const auto algo = [options](const Graph& sub) {
+    return RunBDOne(sub, nullptr, options);
+  };
   return opts.parallel ? RunPerComponentParallel(g, algo)
                        : RunPerComponent(g, algo);
 }

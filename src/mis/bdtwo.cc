@@ -1,9 +1,11 @@
 #include "mis/bdtwo.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "ds/bucket_queue.h"
 #include "graph/adjacency_graph.h"
+#include "mis/compaction.h"
 
 namespace rpmis {
 
@@ -11,7 +13,8 @@ namespace {
 
 // A degree-two folding record: u was deleted, `merged` was contracted into
 // `rep`. On unwind (reverse order): rep in I  =>  merged joins I too;
-// otherwise u joins I (Lemma 2.2).
+// otherwise u joins I (Lemma 2.2). All three are INPUT ids, so the records
+// survive mid-run renamings untouched.
 struct FoldRecord {
   Vertex u;
   Vertex merged;
@@ -20,14 +23,19 @@ struct FoldRecord {
 
 }  // namespace
 
-MisSolution RunBDTwo(const Graph& g) {
+MisSolution RunBDTwo(const Graph& g, const BDTwoOptions& options) {
   const Vertex n = g.NumVertices();
   MisSolution sol;
   sol.in_set.assign(n, 0);
 
   AdjacencyGraph dyn(g);
-  std::vector<uint8_t> peeled(n, 0);
-  std::vector<Vertex> v1, v2;  // worklists with lazy staleness checks
+  // Current id -> input id (identity until the first compaction). Decisions
+  // (in_set, peeled, folds) are always recorded in input ids.
+  std::vector<Vertex> to_orig(n);
+  std::iota(to_orig.begin(), to_orig.end(), Vertex{0});
+
+  std::vector<uint8_t> peeled(n, 0);  // input-id space
+  std::vector<Vertex> v1, v2;         // worklists with lazy staleness checks
   std::vector<FoldRecord> folds;
   std::vector<Vertex> touched;
 
@@ -49,6 +57,7 @@ MisSolution RunBDTwo(const Graph& g) {
       v2.push_back(v);
     }
   }
+  CompactionPolicy policy(options.compaction, n);
 
   // Re-synchronizes queue keys and worklists for vertices whose degree
   // changed, and finalizes vertices that dropped to degree zero.
@@ -58,7 +67,7 @@ MisSolution RunBDTwo(const Graph& g) {
       const uint32_t d = dyn.Degree(x);
       if (d == 0) {
         queue.Remove(x);
-        sol.in_set[x] = 1;
+        sol.in_set[to_orig[x]] = 1;
         continue;
       }
       if (queue.KeyOf(x) != d) queue.Update(x, d);
@@ -77,8 +86,37 @@ MisSolution RunBDTwo(const Graph& g) {
     sync_touched();
   };
 
+  // Rebuilds the dynamic graph, queue and worklists over the alive,
+  // still-undecided subgraph. At the loop top the queue holds exactly the
+  // vertices with alive && deg > 0 (deg-0 "husks" were removed by
+  // sync_touched and degrees never resurrect), so queue.Size() is the
+  // active count and every queue entry survives the renaming. List and
+  // bucket order are preserved, so the run is byte-identical.
+  auto compact = [&]() {
+    const Vertex cur_n = dyn.NumVertices();
+    std::vector<uint8_t> keep(cur_n);
+    for (Vertex x = 0; x < cur_n; ++x) {
+      keep[x] = dyn.IsAlive(x) && dyn.Degree(x) > 0;
+    }
+    VertexRenaming ren = BuildRenaming(keep);
+    const Vertex new_n = static_cast<Vertex>(ren.kept.size());
+    RPMIS_DASSERT(new_n == queue.Size());
+    ++sol.compaction.compactions;
+    sol.compaction.vertices_scanned += cur_n;
+    sol.compaction.slots_scanned += 2 * dyn.NumAliveEdges();
+    sol.compaction.vertices_kept += new_n;
+    sol.compaction.slots_kept += 2 * dyn.NumAliveEdges();
+    dyn.Compact(new_n, ren.to_new);
+    queue.Compact(new_n, ren.to_new, new_n == 0 ? 0 : new_n - 1);
+    RemapWorklist(ren, &v1);
+    RemapWorklist(ren, &v2);
+    ComposeToOrig(ren, &to_orig);
+    policy.NoteRebuild(new_n);
+  };
+
   bool peeled_yet = false;
   while (true) {
+    if (policy.ShouldCompact(queue.Size())) compact();
     if (!v1.empty()) {
       const Vertex u = v1.back();
       v1.pop_back();
@@ -113,7 +151,7 @@ MisSolution RunBDTwo(const Graph& g) {
         if (queue.Contains(v)) queue.Remove(v);
         dyn.ContractInto(v, w, &touched);
         sync_touched();
-        folds.push_back({u, v, w});
+        folds.push_back({to_orig[u], to_orig[v], to_orig[w]});
         ++sol.rules.degree_two_folding;
       }
       continue;
@@ -125,12 +163,12 @@ MisSolution RunBDTwo(const Graph& g) {
     RPMIS_DASSERT(dyn.IsAlive(u) && dyn.Degree(u) >= 3);
     if (!peeled_yet) {
       peeled_yet = true;
-      for (Vertex x = 0; x < n; ++x) {
+      for (Vertex x = 0; x < dyn.NumVertices(); ++x) {
         if (dyn.IsAlive(x) && dyn.Degree(x) > 0) ++sol.kernel_vertices;
       }
       sol.kernel_edges = dyn.NumAliveEdges();
     }
-    peeled[u] = 1;
+    peeled[to_orig[u]] = 1;
     ++sol.rules.peels;
     dyn.RemoveVertex(u, &touched);
     sync_touched();
@@ -156,9 +194,11 @@ MisSolution RunBDTwo(const Graph& g) {
   return sol;
 }
 
-MisSolution RunBDTwoPerComponent(const Graph& g,
-                                 const PerComponentOptions& opts) {
-  const auto algo = [](const Graph& sub) { return RunBDTwo(sub); };
+MisSolution RunBDTwoPerComponent(const Graph& g, const PerComponentOptions& opts,
+                                 const BDTwoOptions& options) {
+  const auto algo = [options](const Graph& sub) {
+    return RunBDTwo(sub, options);
+  };
   return opts.parallel ? RunPerComponentParallel(g, algo)
                        : RunPerComponent(g, algo);
 }

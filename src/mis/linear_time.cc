@@ -1,8 +1,10 @@
 #include "mis/linear_time.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "ds/bucket_queue.h"
+#include "mis/compaction.h"
 #include "mis/kernel_capture.h"
 
 namespace rpmis {
@@ -11,17 +13,18 @@ namespace {
 
 // Mutable adjacency view over a private copy of the CSR neighbour array.
 // Entries can be overwritten (rewired); deleted endpoints are skipped via
-// the alive bitmap, never physically removed.
+// the alive bitmap, never physically removed — except by Compact(), which
+// rebuilds the arrays over the surviving subgraph (dropping exactly the
+// slots every scan would have skipped, in order, so scans behave
+// identically afterwards).
 struct MutableCsr {
-  explicit MutableCsr(const Graph& g) : graph(&g) {
-    adj.reserve(2 * g.NumEdges());
-    for (Vertex v = 0; v < g.NumVertices(); ++v) {
-      for (Vertex w : g.Neighbors(v)) adj.push_back(w);
-    }
+  explicit MutableCsr(const Graph& g) : offsets(g.RawOffsets()) {
+    const std::span<const Vertex> nbs = g.RawNeighbors();
+    adj.assign(nbs.begin(), nbs.end());
   }
 
-  uint64_t Begin(Vertex v) const { return graph->EdgeBegin(v); }
-  uint64_t End(Vertex v) const { return graph->EdgeEnd(v); }
+  uint64_t Begin(Vertex v) const { return offsets[v]; }
+  uint64_t End(Vertex v) const { return offsets[v + 1]; }
 
   // Replaces the slot of `old_nb` in a's list with `new_nb`.
   void Rewire(Vertex a, Vertex old_nb, Vertex new_nb) {
@@ -34,35 +37,57 @@ struct MutableCsr {
     RPMIS_ASSERT_MSG(false, "rewire target not found");
   }
 
-  const Graph* graph;
+  void Compact(const VertexRenaming& ren, CompactionStats* stats) {
+    std::vector<uint64_t> new_offsets;
+    std::vector<Vertex> new_adj;
+    CompactCsr(ren, offsets, adj, &new_offsets, &new_adj,
+               /*old_slot_to_new=*/nullptr, stats);
+    own_offsets = std::move(new_offsets);
+    offsets = own_offsets;
+    adj = std::move(new_adj);
+  }
+
+  std::span<const uint64_t> offsets;  // input CSR, then own_offsets
+  std::vector<uint64_t> own_offsets;
   std::vector<Vertex> adj;
 };
 
 }  // namespace
 
-MisSolution RunLinearTime(const Graph& g, KernelSnapshot* capture) {
+MisSolution RunLinearTime(const Graph& g, KernelSnapshot* capture,
+                          const LinearTimeOptions& options) {
   const Vertex n = g.NumVertices();
   MisSolution sol;
   sol.in_set.assign(n, 0);
 
   MutableCsr csr(g);
+  // Current id -> input id (identity until the first compaction). Decisions
+  // (in_set, peeled, deferred) are always recorded in input ids.
+  std::vector<Vertex> to_orig(n);
+  std::iota(to_orig.begin(), to_orig.end(), Vertex{0});
+
   std::vector<uint8_t> alive(n, 1);
-  std::vector<uint8_t> peeled(n, 0);
+  std::vector<uint8_t> peeled(n, 0);       // input-id space
   std::vector<uint32_t> deg(n);
   std::vector<Vertex> v1, v2;              // worklists (may hold stale entries)
   std::vector<DeferredDecision> deferred;  // the stack S of Algorithm 4
+  Vertex active = 0;                       // # vertices with alive && deg > 0
   for (Vertex v = 0; v < n; ++v) {
     deg[v] = g.Degree(v);
     if (deg[v] == 0) {
       sol.in_set[v] = 1;
       ++sol.rules.degree_zero;
-    } else if (deg[v] == 1) {
-      v1.push_back(v);
-    } else if (deg[v] == 2) {
-      v2.push_back(v);
+    } else {
+      ++active;
+      if (deg[v] == 1) {
+        v1.push_back(v);
+      } else if (deg[v] == 2) {
+        v2.push_back(v);
+      }
     }
   }
   LazyMaxBucketQueue peel_queue(deg);
+  CompactionPolicy policy(options.compaction, n);
 
   auto first_alive_neighbor = [&](Vertex v) {
     for (uint64_t e = csr.Begin(v); e < csr.End(v); ++e) {
@@ -91,8 +116,9 @@ MisSolution RunLinearTime(const Graph& g, KernelSnapshot* capture) {
 
   // Generic vertex deletion with degree bookkeeping.
   auto delete_vertex = [&](Vertex v) {
-    RPMIS_DASSERT(alive[v]);
+    RPMIS_DASSERT(alive[v] && deg[v] > 0);
     alive[v] = 0;
+    --active;
     for (uint64_t e = csr.Begin(v); e < csr.End(v); ++e) {
       const Vertex w = csr.adj[e];
       if (!alive[w]) continue;
@@ -102,7 +128,8 @@ MisSolution RunLinearTime(const Graph& g, KernelSnapshot* capture) {
       } else if (d == 2) {
         v2.push_back(w);
       } else if (d == 0) {
-        sol.in_set[w] = 1;
+        sol.in_set[to_orig[w]] = 1;
+        --active;
       }
     }
   };
@@ -181,11 +208,13 @@ MisSolution RunLinearTime(const Graph& g, KernelSnapshot* capture) {
       // rewires keep constraining later replays.
       ++sol.rules.degree_two_path;
       for (size_t i = l; i-- > 1;) {
-        deferred.push_back({path[i], path[i - 1], i + 1 < l ? path[i + 1] : w});
+        deferred.push_back({to_orig[path[i]], to_orig[path[i - 1]],
+                            i + 1 < l ? to_orig[path[i + 1]] : to_orig[w]});
       }
       for (size_t i = 1; i < l; ++i) {
         alive[path[i]] = 0;
         deg[path[i]] = 0;
+        --active;
       }
       csr.Rewire(path[0], path[1], w);
       csr.Rewire(w, path[l - 1], path[0]);
@@ -196,12 +225,14 @@ MisSolution RunLinearTime(const Graph& g, KernelSnapshot* capture) {
     // Defer decisions so pops run v_1, v_2, ..., v_l.
     ++sol.rules.degree_two_path;
     for (size_t i = l; i-- > 0;) {
-      deferred.push_back(
-          {path[i], i > 0 ? path[i - 1] : v, i + 1 < l ? path[i + 1] : w});
+      deferred.push_back({to_orig[path[i]],
+                          i > 0 ? to_orig[path[i - 1]] : to_orig[v],
+                          i + 1 < l ? to_orig[path[i + 1]] : to_orig[w]});
     }
     for (size_t i = 0; i < l; ++i) {
       alive[path[i]] = 0;
       deg[path[i]] = 0;
+      --active;
     }
     if (vw_edge) {
       // Case 4: no rewire; v and w lose a degree.
@@ -212,7 +243,8 @@ MisSolution RunLinearTime(const Graph& g, KernelSnapshot* capture) {
         } else if (d == 2) {
           v2.push_back(x);
         } else if (d == 0) {
-          sol.in_set[x] = 1;
+          sol.in_set[to_orig[x]] = 1;
+          --active;
         }
       }
     } else {
@@ -222,20 +254,54 @@ MisSolution RunLinearTime(const Graph& g, KernelSnapshot* capture) {
     }
   };
 
+  // Rebuilds every per-vertex structure over the alive, still-undecided
+  // subgraph. Renaming is monotone and slot order is preserved, so every
+  // later scan sees the same (alive) neighbour sequence as without
+  // compaction and the output is byte-identical.
+  auto compact = [&]() {
+    const Vertex cur_n = static_cast<Vertex>(to_orig.size());
+    std::vector<uint8_t> keep(cur_n);
+    for (Vertex x = 0; x < cur_n; ++x) keep[x] = alive[x] && deg[x] > 0;
+    VertexRenaming ren = BuildRenaming(keep);
+    const Vertex new_n = static_cast<Vertex>(ren.kept.size());
+    RPMIS_DASSERT(new_n == active);
+    csr.Compact(ren, &sol.compaction);
+    std::vector<uint32_t> new_deg(new_n);
+    for (Vertex i = 0; i < new_n; ++i) new_deg[i] = deg[ren.kept[i]];
+    deg = std::move(new_deg);
+    alive.assign(new_n, 1);
+    ComposeToOrig(ren, &to_orig);
+    RemapWorklist(ren, &v1);
+    RemapWorklist(ren, &v2);
+    peel_queue.Compact(new_n, ren.to_new);
+    policy.NoteRebuild(new_n);
+  };
+
   bool peeled_yet = false;
   auto capture_now = [&]() {
+    std::vector<uint8_t> alive_o(n, 0);
+    std::vector<uint32_t> deg_o(n, 0);
+    const Vertex cur_n = static_cast<Vertex>(to_orig.size());
+    for (Vertex a = 0; a < cur_n; ++a) {
+      alive_o[to_orig[a]] = alive[a];
+      deg_o[to_orig[a]] = deg[a];
+    }
     std::vector<Edge> edges;
-    for (Vertex a = 0; a < n; ++a) {
+    for (Vertex a = 0; a < cur_n; ++a) {
       if (!alive[a] || deg[a] == 0) continue;
       for (uint64_t e = csr.Begin(a); e < csr.End(a); ++e) {
         const Vertex b = csr.adj[e];
-        if (a < b && alive[b] && deg[b] > 0) edges.emplace_back(a, b);
+        if (a < b && alive[b] && deg[b] > 0) {
+          edges.emplace_back(to_orig[a], to_orig[b]);
+        }
       }
     }
-    internal::BuildKernelSnapshot(alive, deg, sol.in_set, edges, deferred, capture);
+    internal::BuildKernelSnapshot(alive_o, deg_o, sol.in_set, edges, deferred,
+                                  capture);
   };
 
   while (true) {
+    if (policy.ShouldCompact(active)) compact();
     if (!v1.empty()) {
       const Vertex u = v1.back();
       v1.pop_back();
@@ -261,16 +327,15 @@ MisSolution RunLinearTime(const Graph& g, KernelSnapshot* capture) {
     if (u == kInvalidVertex) break;
     if (!peeled_yet) {
       peeled_yet = true;
-      for (Vertex x = 0; x < n; ++x) {
-        if (alive[x] && deg[x] > 0) {
-          ++sol.kernel_vertices;
-          sol.kernel_edges += deg[x];
-        }
+      sol.kernel_vertices = active;
+      const Vertex cur_n = static_cast<Vertex>(to_orig.size());
+      for (Vertex x = 0; x < cur_n; ++x) {
+        if (alive[x]) sol.kernel_edges += deg[x];
       }
       sol.kernel_edges /= 2;
       if (capture != nullptr) capture_now();
     }
-    peeled[u] = 1;
+    peeled[to_orig[u]] = 1;
     ++sol.rules.peels;
     delete_vertex(u);
   }
@@ -290,8 +355,11 @@ MisSolution RunLinearTime(const Graph& g, KernelSnapshot* capture) {
 }
 
 MisSolution RunLinearTimePerComponent(const Graph& g,
-                                      const PerComponentOptions& opts) {
-  const auto algo = [](const Graph& sub) { return RunLinearTime(sub); };
+                                      const PerComponentOptions& opts,
+                                      const LinearTimeOptions& options) {
+  const auto algo = [options](const Graph& sub) {
+    return RunLinearTime(sub, nullptr, options);
+  };
   return opts.parallel ? RunPerComponentParallel(g, algo)
                        : RunPerComponent(g, algo);
 }

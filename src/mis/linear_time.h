@@ -26,15 +26,23 @@
 
 namespace rpmis {
 
+struct LinearTimeOptions {
+  /// Mid-run alive-subgraph rebuilds (mis/compaction.h). Output is
+  /// byte-identical with compaction disabled or at any threshold.
+  CompactionOptions compaction;
+};
+
 /// Computes a maximal independent set of g with LinearTime. If `capture`
 /// is non-null it receives the kernel right before the first peel.
-MisSolution RunLinearTime(const Graph& g, KernelSnapshot* capture = nullptr);
+MisSolution RunLinearTime(const Graph& g, KernelSnapshot* capture = nullptr,
+                          const LinearTimeOptions& options = {});
 
 /// Component-wise LinearTime: runs RunLinearTime on every connected
 /// component independently (concurrently when opts.parallel) and merges.
 /// Output is independent of the thread count.
 MisSolution RunLinearTimePerComponent(const Graph& g,
-                                      const PerComponentOptions& opts = {});
+                                      const PerComponentOptions& opts = {},
+                                      const LinearTimeOptions& options = {});
 
 }  // namespace rpmis
 

@@ -5,61 +5,157 @@
 
 #include "ds/bucket_queue.h"
 #include "graph/algorithms.h"
+#include "mis/compaction.h"
 #include "mis/kernel_capture.h"
 #include "mis/lp_reduction.h"
-#include "support/fast_set.h"
+#include "support/parallel.h"
 
 namespace rpmis {
+
+namespace {
+
+// The exact dominance predicate of the one-pass prepass: true iff some
+// alive neighbour v of u with d(v) <= d(u) satisfies N(v) \ {u} ⊆ N(u).
+// Pure reader of (alive, deg); `mark` is caller-owned scratch.
+bool DominatedBy(const Graph& g, const std::vector<uint8_t>& alive,
+                 const std::vector<uint32_t>& deg, Vertex u, FastSet& mark) {
+  mark.Clear();
+  for (Vertex x : g.Neighbors(u)) {
+    if (alive[x]) mark.Insert(x);
+  }
+  for (Vertex v : g.Neighbors(u)) {
+    // v dominates u iff N(v) \ {u} ⊆ N(u); only candidates with
+    // d(v) <= d(u) can succeed, which bounds the scan by min degrees.
+    if (!alive[v] || deg[v] > deg[u]) continue;
+    bool ok = true;
+    for (Vertex w : g.Neighbors(v)) {
+      if (w == u || !alive[w]) continue;
+      if (!mark.Contains(w)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+// Removes u (known dominated): neighbours lose a degree, isolated ones
+// join I. Shared by the serial and parallel finalize paths.
+void RemoveDominated(const Graph& g, std::vector<uint8_t>& alive,
+                     std::vector<uint32_t>& deg, std::vector<uint8_t>& in_set,
+                     Vertex u) {
+  alive[u] = 0;
+  for (Vertex x : g.Neighbors(u)) {
+    if (!alive[x]) continue;
+    if (--deg[x] == 0) in_set[x] = 1;
+  }
+}
+
+}  // namespace
+
+uint64_t OnePassDominance(const Graph& g, std::vector<uint8_t>& alive,
+                          std::vector<uint32_t>& deg,
+                          std::vector<uint8_t>& in_set,
+                          DominanceScratch& scratch) {
+  const Vertex n = g.NumVertices();
+  // Count-sort vertices by decreasing initial degree: high-degree vertices
+  // are the likely dominated ones and removing them shrinks Δ. Degrees are
+  // cached once (the sort needs each three times).
+  scratch.order.resize(n);
+  scratch.initial_deg.resize(n);
+  uint32_t max_deg = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    scratch.initial_deg[v] = g.Degree(v);
+    max_deg = std::max(max_deg, scratch.initial_deg[v]);
+  }
+  scratch.bucket.assign(static_cast<size_t>(max_deg) + 2, 0);
+  for (Vertex v = 0; v < n; ++v) ++scratch.bucket[max_deg - scratch.initial_deg[v] + 1];
+  for (size_t i = 1; i < scratch.bucket.size(); ++i) {
+    scratch.bucket[i] += scratch.bucket[i - 1];
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    scratch.order[scratch.bucket[max_deg - scratch.initial_deg[v]]++] = v;
+  }
+
+  const size_t threads = NumThreads();
+  const bool parallel = threads > 1 && n >= 512;
+  const size_t want_marks = parallel ? threads : 1;
+  if (scratch.marks.size() < want_marks) scratch.marks.resize(want_marks);
+  for (size_t t = 0; t < want_marks; ++t) {
+    if (scratch.marks[t].Universe() < n) scratch.marks[t].Resize(n);
+  }
+
+  uint64_t removed = 0;
+  if (!parallel) {
+    FastSet& mark = scratch.marks[0];
+    for (Vertex u : scratch.order) {
+      if (!alive[u] || deg[u] == 0) continue;
+      if (!DominatedBy(g, alive, deg, u, mark)) continue;
+      ++removed;
+      RemoveDominated(g, alive, deg, in_set, u);
+    }
+    return removed;
+  }
+
+  // Parallel variant, byte-identical to the serial loop above at any
+  // thread count: the order is processed in blocks; within a block every
+  // vertex is screened concurrently against the block-start state (pure
+  // reads), then the block is finalized serially in order. A finalize
+  // removal invalidates cached verdicts only within distance two, so the
+  // serial pass recomputes a vertex iff it or one of its neighbours is
+  // dirty — every state location the predicate reads (deg/alive of
+  // N(u), alive of N(v) for v in N(u)) is covered by that test, so the
+  // outcome matches the serial pass exactly.
+  const Vertex block = static_cast<Vertex>(
+      std::max<size_t>(8192, static_cast<size_t>(n) / 64));
+  scratch.screened.resize(n);
+  if (scratch.dirty.Universe() < n) scratch.dirty.Resize(n);
+  FastSet& dirty = scratch.dirty;
+  for (Vertex lo = 0; lo < n; lo += block) {
+    const Vertex hi = std::min<Vertex>(n, lo + block);
+    const size_t span = hi - lo;
+    RunParallel(threads, [&](size_t t) {
+      const Vertex b = lo + static_cast<Vertex>(span * t / threads);
+      const Vertex e = lo + static_cast<Vertex>(span * (t + 1) / threads);
+      FastSet& mark = scratch.marks[t];
+      for (Vertex i = b; i < e; ++i) {
+        const Vertex u = scratch.order[i];
+        scratch.screened[i] = alive[u] && deg[u] > 0 &&
+                              DominatedBy(g, alive, deg, u, mark);
+      }
+    });
+    dirty.Clear();
+    for (Vertex i = lo; i < hi; ++i) {
+      const Vertex u = scratch.order[i];
+      if (!alive[u] || deg[u] == 0) continue;
+      bool stale = dirty.Contains(u);
+      if (!stale) {
+        for (Vertex x : g.Neighbors(u)) {
+          if (dirty.Contains(x)) {
+            stale = true;
+            break;
+          }
+        }
+      }
+      const bool dominated =
+          stale ? DominatedBy(g, alive, deg, u, scratch.marks[0])
+                : scratch.screened[i] != 0;
+      if (!dominated) continue;
+      ++removed;
+      dirty.Insert(u);
+      for (Vertex x : g.Neighbors(u)) dirty.Insert(x);
+      RemoveDominated(g, alive, deg, in_set, u);
+    }
+  }
+  return removed;
+}
 
 uint64_t OnePassDominance(const Graph& g, std::vector<uint8_t>& alive,
                           std::vector<uint32_t>& deg,
                           std::vector<uint8_t>& in_set) {
-  const Vertex n = g.NumVertices();
-  // Count-sort vertices by decreasing initial degree: high-degree vertices
-  // are the likely dominated ones and removing them shrinks Δ.
-  std::vector<Vertex> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  const uint32_t max_deg = g.MaxDegree();
-  std::vector<uint32_t> bucket(max_deg + 2, 0);
-  for (Vertex v = 0; v < n; ++v) ++bucket[max_deg - g.Degree(v) + 1];
-  for (size_t i = 1; i < bucket.size(); ++i) bucket[i] += bucket[i - 1];
-  for (Vertex v = 0; v < n; ++v) order[bucket[max_deg - g.Degree(v)]++] = v;
-
-  FastSet mark(n);
-  uint64_t removed = 0;
-  for (Vertex u : order) {
-    if (!alive[u] || deg[u] == 0) continue;
-    mark.Clear();
-    for (Vertex x : g.Neighbors(u)) {
-      if (alive[x]) mark.Insert(x);
-    }
-    bool dominated = false;
-    for (Vertex v : g.Neighbors(u)) {
-      // v dominates u iff N(v) \ {u} ⊆ N(u); only candidates with
-      // d(v) <= d(u) can succeed, which bounds the scan by min degrees.
-      if (!alive[v] || deg[v] > deg[u]) continue;
-      bool ok = true;
-      for (Vertex w : g.Neighbors(v)) {
-        if (w == u || !alive[w]) continue;
-        if (!mark.Contains(w)) {
-          ok = false;
-          break;
-        }
-      }
-      if (ok) {
-        dominated = true;
-        break;
-      }
-    }
-    if (!dominated) continue;
-    alive[u] = 0;
-    ++removed;
-    for (Vertex x : g.Neighbors(u)) {
-      if (!alive[x]) continue;
-      if (--deg[x] == 0) in_set[x] = 1;
-    }
-  }
-  return removed;
+  DominanceScratch scratch;
+  return OnePassDominance(g, alive, deg, in_set, scratch);
 }
 
 namespace {
@@ -69,23 +165,30 @@ using Slot = uint32_t;
 constexpr Slot kNoSlot = static_cast<Slot>(-1);
 
 // The NearLinear main loop, operating on a compact kernel graph (the
-// instance that remains after the exact prepasses).
+// instance that remains after the exact prepasses). Membership, peel and
+// deferred-path decisions are recorded directly in INPUT ids (via
+// `to_orig_`), which lets the loop rebuild its own vertex universe mid-run
+// (Compact) without post-hoc translation.
 class NearLinearCore {
  public:
-  explicit NearLinearCore(const Graph& kg, MisSolution* sol)
-      : kg_(kg),
-        sol_(sol),
+  NearLinearCore(const Graph& kg, std::vector<Vertex> kernel_to_orig,
+                 MisSolution* sol, std::vector<uint8_t>* peeled_orig,
+                 const CompactionOptions& copts)
+      : sol_(sol),
+        peeled_orig_(peeled_orig),
         n_(kg.NumVertices()),
+        to_orig_(std::move(kernel_to_orig)),
+        offsets_(kg.RawOffsets()),
         alive_(n_, 1),
-        peeled_(n_, 0),
-        in_set_(n_, 0),
         deg_(n_),
         mark_(n_),
-        mark2_(n_) {
-    adj_.reserve(2 * kg.NumEdges());
+        mark2_(n_),
+        policy_(copts, n_) {
+    const std::span<const Vertex> nbs = kg.RawNeighbors();
+    adj_.assign(nbs.begin(), nbs.end());
     for (Vertex v = 0; v < n_; ++v) {
       deg_[v] = kg.Degree(v);
-      for (Vertex w : kg.Neighbors(v)) adj_.push_back(w);
+      if (deg_[v] > 0) ++active_;
       if (deg_[v] == 2) v2_.push_back(v);
     }
     delta_ = EdgeTriangleCounts(kg);
@@ -93,8 +196,8 @@ class NearLinearCore {
     // Initial dominated set: u dominates v  =>  v is dominated.
     for (Vertex u = 0; u < n_; ++u) {
       if (deg_[u] == 0) {
-        in_set_[u] = 1;  // isolated kernel vertex (defensive; prepasses
-                         // normally strip these)
+        sol_->in_set[to_orig_[u]] = 1;  // isolated kernel vertex (defensive;
+                                        // prepasses normally strip these)
         continue;
       }
       for (Slot e = Begin(u); e < End(u); ++e) {
@@ -103,22 +206,15 @@ class NearLinearCore {
     }
   }
 
-  // Runs to completion. Returns the peel count.
-  void Run(bool want_capture, KernelSnapshot* capture,
-           const std::vector<Vertex>& kernel_to_orig,
-           const std::vector<uint8_t>& pre_in_set_orig);
+  // Runs to completion.
+  void Run(bool want_capture, KernelSnapshot* capture);
 
-  const std::vector<uint8_t>& InSet() const { return in_set_; }
-  const std::vector<uint8_t>& Peeled() const { return peeled_; }
-  const std::vector<DeferredDecision>& Deferred() const { return deferred_; }
-  const Graph& KernelGraph() const { return kg_; }
-
-  /// Replays the deferred stack (partners are kernel-space ids).
-  void ReplayDeferred() { ReplayDeferredStack(deferred_, in_set_); }
+  /// Replays the deferred stack (partners are input-space ids).
+  void ReplayDeferred() { ReplayDeferredStack(deferred_, sol_->in_set); }
 
  private:
-  Slot Begin(Vertex v) const { return static_cast<Slot>(kg_.EdgeBegin(v)); }
-  Slot End(Vertex v) const { return static_cast<Slot>(kg_.EdgeEnd(v)); }
+  Slot Begin(Vertex v) const { return static_cast<Slot>(offsets_[v]); }
+  Slot End(Vertex v) const { return static_cast<Slot>(offsets_[v + 1]); }
 
   // Rewires a's slot holding old_nb to new_nb; returns the slot.
   Slot Rewire(Vertex a, Vertex old_nb, Vertex new_nb) {
@@ -170,7 +266,8 @@ class NearLinearCore {
     if (deg_[w] == 2) {
       v2_.push_back(w);
     } else if (deg_[w] == 0) {
-      in_set_[w] = 1;
+      sol_->in_set[to_orig_[w]] = 1;
+      --active_;
     }
     // Degree-one vertices need no explicit worklist: such a vertex
     // dominates its remaining neighbour, which the rescreen pass enqueues.
@@ -180,6 +277,7 @@ class NearLinearCore {
   void DeleteVertex(Vertex x) {
     RPMIS_DASSERT(alive_[x]);
     alive_[x] = 0;
+    if (deg_[x] > 0) --active_;
     // Pass A: collect alive neighbours, update degrees.
     scratch_nbrs_.clear();
     for (Slot e = Begin(x); e < End(x); ++e) {
@@ -208,22 +306,26 @@ class NearLinearCore {
 
   void DegreeTwoPathReduction(Vertex u);
   void ApplyDominance();
+  void Compact(LazyMaxBucketQueue& peel_queue);
 
-  const Graph& kg_;
   MisSolution* sol_;
+  std::vector<uint8_t>* peeled_orig_;
   Vertex n_;
+  std::vector<Vertex> to_orig_;        // current id -> input id
+  std::span<const uint64_t> offsets_;  // kernel CSR, then own_offsets_
+  std::vector<uint64_t> own_offsets_;
   std::vector<Vertex> adj_;
   std::vector<uint32_t> delta_;
   std::vector<uint32_t> rev_;
   std::vector<uint8_t> alive_;
-  std::vector<uint8_t> peeled_;
-  std::vector<uint8_t> in_set_;
   std::vector<uint32_t> deg_;
   std::vector<Vertex> v2_;
   std::vector<Vertex> dominated_;
-  std::vector<DeferredDecision> deferred_;
+  std::vector<DeferredDecision> deferred_;  // input-space ids
   std::vector<Vertex> scratch_nbrs_;
   FastSet mark_, mark2_;
+  Vertex active_ = 0;  // # vertices with alive && deg > 0
+  CompactionPolicy policy_;
 };
 
 void NearLinearCore::ApplyDominance() {
@@ -300,11 +402,13 @@ void NearLinearCore::DegreeTwoPathReduction(Vertex u) {
     // Case 3: keep v_1, drop v_2..v_l, rewire (v_1, w) with δ = 0.
     ++sol_->rules.degree_two_path;
     for (size_t i = l; i-- > 1;) {
-      deferred_.push_back({path[i], path[i - 1], i + 1 < l ? path[i + 1] : w});
+      deferred_.push_back({to_orig_[path[i]], to_orig_[path[i - 1]],
+                           i + 1 < l ? to_orig_[path[i + 1]] : to_orig_[w]});
     }
     for (size_t i = 1; i < l; ++i) {
       alive_[path[i]] = 0;
       deg_[path[i]] = 0;
+      --active_;
     }
     const Slot e1 = Rewire(path[0], path[1], w);
     const Slot e2 = Rewire(w, path[l - 1], path[0]);
@@ -319,12 +423,14 @@ void NearLinearCore::DegreeTwoPathReduction(Vertex u) {
   // Even path: drop all of it.
   ++sol_->rules.degree_two_path;
   for (size_t i = l; i-- > 0;) {
-    deferred_.push_back(
-        {path[i], i > 0 ? path[i - 1] : v, i + 1 < l ? path[i + 1] : w});
+    deferred_.push_back({to_orig_[path[i]],
+                         i > 0 ? to_orig_[path[i - 1]] : to_orig_[v],
+                         i + 1 < l ? to_orig_[path[i + 1]] : to_orig_[w]});
   }
   for (size_t i = 0; i < l; ++i) {
     alive_[path[i]] = 0;
     deg_[path[i]] = 0;
+    --active_;
   }
   if (vw_edge) {
     // Case 4: v and w lose one degree; triangle counts are untouched, so
@@ -370,25 +476,69 @@ void NearLinearCore::DegreeTwoPathReduction(Vertex u) {
   }
 }
 
-void NearLinearCore::Run(bool want_capture, KernelSnapshot* capture,
-                         const std::vector<Vertex>& kernel_to_orig,
-                         const std::vector<uint8_t>& pre_in_set_orig) {
+// Rebuilds every per-vertex and per-slot structure over the alive,
+// still-undecided subgraph. The renaming is monotone and per-vertex slot
+// order is preserved, so every later scan (first-alive-neighbour walks,
+// rewire lookups, a < b edge enumerations) sees the same sequence as
+// without compaction — the run is byte-identical either way.
+void NearLinearCore::Compact(LazyMaxBucketQueue& peel_queue) {
+  std::vector<uint8_t> keep(n_);
+  for (Vertex u = 0; u < n_; ++u) keep[u] = alive_[u] && deg_[u] > 0;
+  VertexRenaming ren = BuildRenaming(keep);
+  const Vertex new_n = static_cast<Vertex>(ren.kept.size());
+  RPMIS_DASSERT(new_n == active_);
+  std::vector<uint64_t> new_offsets;
+  std::vector<Vertex> new_adj;
+  std::vector<uint32_t> slot_map;
+  CompactCsr(ren, offsets_, adj_, &new_offsets, &new_adj, &slot_map,
+             &sol_->compaction);
+  // A slot survives iff its owner and target both survive; its reverse
+  // slot has the same endpoints, so it survives too and the rev links can
+  // be rebuilt by composition with the slot map.
+  std::vector<uint32_t> new_delta(new_adj.size());
+  std::vector<uint32_t> new_rev(new_adj.size());
+  for (Vertex i = 0; i < new_n; ++i) {
+    const Vertex v = ren.kept[i];
+    for (uint64_t s = offsets_[v]; s < offsets_[v + 1]; ++s) {
+      if (ren.to_new[adj_[s]] == kInvalidVertex) continue;
+      new_delta[slot_map[s]] = delta_[s];
+      new_rev[slot_map[s]] = slot_map[rev_[s]];
+    }
+  }
+  own_offsets_ = std::move(new_offsets);
+  offsets_ = own_offsets_;
+  adj_ = std::move(new_adj);
+  delta_ = std::move(new_delta);
+  rev_ = std::move(new_rev);
+  std::vector<uint32_t> new_deg(new_n);
+  for (Vertex i = 0; i < new_n; ++i) new_deg[i] = deg_[ren.kept[i]];
+  deg_ = std::move(new_deg);
+  alive_.assign(new_n, 1);
+  ComposeToOrig(ren, &to_orig_);
+  RemapWorklist(ren, &v2_);
+  RemapWorklist(ren, &dominated_);
+  peel_queue.Compact(new_n, ren.to_new);
+  mark_.Resize(new_n);
+  mark2_.Resize(new_n);
+  n_ = new_n;
+  policy_.NoteRebuild(new_n);
+}
+
+void NearLinearCore::Run(bool want_capture, KernelSnapshot* capture) {
   std::vector<uint32_t> keys(deg_.begin(), deg_.end());
   LazyMaxBucketQueue peel_queue(keys);
   bool peeled_yet = false;
 
   auto capture_now = [&]() {
     if (!want_capture) return;
-    // Translate the kernel-space state into original ids and snapshot.
-    const Vertex n_orig = static_cast<Vertex>(pre_in_set_orig.size());
+    // Translate the kernel-space state into input ids and snapshot.
+    const Vertex n_orig = static_cast<Vertex>(sol_->in_set.size());
     std::vector<uint8_t> alive_o(n_orig, 0);
     std::vector<uint32_t> deg_o(n_orig, 0);
-    std::vector<uint8_t> in_o = pre_in_set_orig;
     for (Vertex k = 0; k < n_; ++k) {
-      const Vertex o = kernel_to_orig[k];
+      const Vertex o = to_orig_[k];
       alive_o[o] = alive_[k];
       deg_o[o] = deg_[k];
-      if (in_set_[k]) in_o[o] = 1;
     }
     std::vector<Edge> edges;
     for (Vertex a = 0; a < n_; ++a) {
@@ -396,20 +546,16 @@ void NearLinearCore::Run(bool want_capture, KernelSnapshot* capture,
       for (Slot e = Begin(a); e < End(a); ++e) {
         const Vertex b = adj_[e];
         if (a < b && alive_[b] && deg_[b] > 0) {
-          edges.emplace_back(kernel_to_orig[a], kernel_to_orig[b]);
+          edges.emplace_back(to_orig_[a], to_orig_[b]);
         }
       }
     }
-    std::vector<DeferredDecision> deferred_o(deferred_.size());
-    for (size_t i = 0; i < deferred_.size(); ++i) {
-      deferred_o[i] = {kernel_to_orig[deferred_[i].v],
-                       kernel_to_orig[deferred_[i].nb1],
-                       kernel_to_orig[deferred_[i].nb2]};
-    }
-    internal::BuildKernelSnapshot(alive_o, deg_o, in_o, edges, deferred_o, capture);
+    internal::BuildKernelSnapshot(alive_o, deg_o, sol_->in_set, edges,
+                                  deferred_, capture);
   };
 
   while (true) {
+    if (policy_.ShouldCompact(active_)) Compact(peel_queue);
     if (!v2_.empty()) {
       const Vertex u = v2_.back();
       v2_.pop_back();
@@ -427,16 +573,14 @@ void NearLinearCore::Run(bool want_capture, KernelSnapshot* capture,
     if (u == kInvalidVertex) break;
     if (!peeled_yet) {
       peeled_yet = true;
+      sol_->kernel_vertices = active_;
       for (Vertex x = 0; x < n_; ++x) {
-        if (alive_[x] && deg_[x] > 0) {
-          ++sol_->kernel_vertices;
-          sol_->kernel_edges += deg_[x];
-        }
+        if (alive_[x]) sol_->kernel_edges += deg_[x];
       }
       sol_->kernel_edges /= 2;
       capture_now();
     }
-    peeled_[u] = 1;
+    (*peeled_orig_)[to_orig_[u]] = 1;
     ++sol_->rules.peels;
     DeleteVertex(u);
   }
@@ -463,31 +607,23 @@ MisSolution RunNearLinear(const Graph& g, KernelSnapshot* capture,
 
   // Prepass 1: one-pass dominance, decreasing degree order (shrinks Δ).
   if (options.one_pass_dominance) {
-    sol.rules.one_pass_dominance = OnePassDominance(g, alive, deg, sol.in_set);
+    DominanceScratch scratch;
+    sol.rules.one_pass_dominance =
+        OnePassDominance(g, alive, deg, sol.in_set, scratch);
   }
 
   // Prepass 2: Nemhauser–Trotter persistency on the surviving subgraph.
   if (options.lp_reduction) {
-    std::vector<Vertex> ids;
-    std::vector<Vertex> to_compact(n, kInvalidVertex);
-    for (Vertex v = 0; v < n; ++v) {
-      if (alive[v] && deg[v] > 0) {
-        to_compact[v] = static_cast<Vertex>(ids.size());
-        ids.push_back(v);
-      }
-    }
+    std::vector<uint8_t> keep(n);
+    for (Vertex v = 0; v < n; ++v) keep[v] = alive[v] && deg[v] > 0;
+    const VertexRenaming ren = BuildRenaming(keep);
     std::vector<Edge> edges;
-    for (Vertex v : ids) {
-      for (Vertex w : g.Neighbors(v)) {
-        if (v < w && to_compact[w] != kInvalidVertex) {
-          edges.emplace_back(to_compact[v], to_compact[w]);
-        }
-      }
-    }
-    const LpReduction lp = SolveLpReduction(static_cast<Vertex>(ids.size()), edges);
+    BuildCompactEdges(g, ren, &edges);  // deterministic parallel build
+    const LpReduction lp =
+        SolveLpReduction(static_cast<Vertex>(ren.kept.size()), edges);
     sol.rules.lp = lp.num_include + lp.num_exclude;
-    for (Vertex c = 0; c < ids.size(); ++c) {
-      const Vertex v = ids[c];
+    for (Vertex c = 0; c < ren.kept.size(); ++c) {
+      const Vertex v = ren.kept[c];
       if (lp.include[c]) {
         sol.in_set[v] = 1;
         alive[v] = 0;  // decided; drops out of the kernel
@@ -499,10 +635,10 @@ MisSolution RunNearLinear(const Graph& g, KernelSnapshot* capture,
 
   // Build the compact kernel instance for the main loop.
   std::vector<Vertex> kernel_to_orig;
-  std::vector<Vertex> orig_to_kernel(n, kInvalidVertex);
   std::vector<Edge> kernel_edges;
   {
     // Recompute liveness-aware degrees after the prepasses.
+    std::vector<uint8_t> keep(n, 0);
     for (Vertex v = 0; v < n; ++v) {
       if (!alive[v]) continue;
       uint32_t d = 0;
@@ -512,32 +648,24 @@ MisSolution RunNearLinear(const Graph& g, KernelSnapshot* capture,
       if (d == 0) {
         sol.in_set[v] = 1;  // isolated survivor joins I
       } else {
-        orig_to_kernel[v] = static_cast<Vertex>(kernel_to_orig.size());
-        kernel_to_orig.push_back(v);
+        keep[v] = 1;
       }
     }
-    for (Vertex v : kernel_to_orig) {
-      for (Vertex w : g.Neighbors(v)) {
-        if (v < w && orig_to_kernel[w] != kInvalidVertex) {
-          kernel_edges.emplace_back(orig_to_kernel[v], orig_to_kernel[w]);
-        }
-      }
-    }
+    VertexRenaming ren = BuildRenaming(keep);
+    BuildCompactEdges(g, ren, &kernel_edges);  // deterministic parallel build
+    kernel_to_orig = std::move(ren.kept);
   }
   const Graph kernel = Graph::FromEdges(
       static_cast<Vertex>(kernel_to_orig.size()), kernel_edges);
 
-  NearLinearCore core(kernel, &sol);
-  core.Run(capture != nullptr, capture, kernel_to_orig, sol.in_set);
-
-  // Deferred path decisions resolve inside the kernel space, then
-  // everything maps back to original ids for the final maximality pass.
-  core.ReplayDeferred();
   std::vector<uint8_t> peeled_orig(n, 0);
-  for (Vertex k = 0; k < kernel.NumVertices(); ++k) {
-    if (core.InSet()[k]) sol.in_set[kernel_to_orig[k]] = 1;
-    if (core.Peeled()[k]) peeled_orig[kernel_to_orig[k]] = 1;
-  }
+  NearLinearCore core(kernel, std::move(kernel_to_orig), &sol, &peeled_orig,
+                      options.compaction);
+  core.Run(capture != nullptr, capture);
+
+  // Deferred path decisions are recorded in input ids, so they replay
+  // directly against the final membership flags.
+  core.ReplayDeferred();
   ExtendToMaximal(g, sol.in_set);
   sol.RecountSize();
   sol.peeled = sol.rules.peels;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "mis/compaction.h"
 
 namespace rpmis {
 
@@ -81,6 +82,9 @@ struct MisSolution {
   uint64_t kernel_edges = 0;
 
   RuleCounters rules;
+
+  /// Mid-run subgraph rebuild counters (mis/compaction.h).
+  CompactionStats compaction;
 
   /// Accumulates the scalar statistics of a partial solution (size, peel
   /// and kernel counts, rule counters; provably_maximum is ANDed).

@@ -12,6 +12,7 @@ using namespace rpmis;
 
 int main(int argc, char** argv) {
   const bool fast = bench::HasFlag(argc, argv, "--fast");
+  ObsSession obs("bench_ablation_nearlinear", argc, argv);
   bench::PrintHeader(
       "Ablation - NearLinear prepasses (one-pass dominance / LP)",
       "Prepasses shrink the kernel and the peel count at near-zero cost; "
@@ -37,9 +38,14 @@ int main(int argc, char** argv) {
   for (const auto& spec : bench::MaybeSubsample(EasyDatasets(), fast, 2)) {
     Graph g = LoadDataset(spec);
     for (const auto& cfg : configs) {
+      ObsSession::Run run = obs.Start("nearlinear", spec.name, /*seed=*/0);
+      run.record().AddString("config", cfg.name);
       Timer t;
       MisSolution sol = RunNearLinear(g, nullptr, cfg.opts);
-      table.AddRow({spec.name, cfg.name, FormatSeconds(t.Seconds()),
+      const double seconds = t.Seconds();
+      run.NoteSeconds(seconds);
+      run.NoteSolution(sol);
+      table.AddRow({spec.name, cfg.name, FormatSeconds(seconds),
                     FormatCount(sol.kernel_vertices),
                     FormatCount(sol.rules.peels), FormatCount(sol.size)});
     }

@@ -4,11 +4,22 @@
 // larger independent set; budgets are scaled from the paper's five hours
 // to seconds per DESIGN.md §4.
 //
+// The printed curves are regenerated from the observability stream: every
+// run commits a JSONL record whose progress samples carry the incumbent
+// sizes (forced samples at each improvement), the bench re-reads the file
+// with ReadProgressSamples, and plots ONLY the parsed samples. The
+// in-memory histories are kept solely to verify the round trip — any size
+// mismatch exits non-zero. EXPERIMENTS.md documents the same recipe for
+// offline consumers.
+//
 // Expected shape: ARW-LT/ARW-NL take an immediate lead (their first point
 // is already near the final best, accuracy >= 99.9%); ReduMIS starts late
 // (kernelization) but converges high; OnlineMIS between; plain ARW lowest.
+#include <filesystem>
+
 #include "baselines/du.h"
 #include "bench_util.h"
+#include "benchkit/record.h"
 #include "localsearch/arw.h"
 #include "localsearch/boosted.h"
 #include "localsearch/online_mis.h"
@@ -18,8 +29,35 @@ using namespace rpmis;
 
 namespace {
 
-void RunConvergence(const std::vector<std::string>& graphs, bool fast) {
+struct Curve {
+  std::string name;       // printed name ("ARW-NL")
+  std::string algorithm;  // record algorithm id ("arw-nl")
+  std::string label;      // incumbent sample label in the progress stream
+  std::vector<ConvergencePoint> expected;  // in-memory history (verify only)
+  std::vector<ConvergencePoint> points;    // regenerated from JSONL
+  uint64_t final_size = 0;
+};
+
+void PrintCurve(const Curve& c) {
+  std::cout << "  " << c.name << ":";
+  // Print up to 8 points: first, last, and evenly spaced middles.
+  const auto& p = c.points;
+  const size_t step = p.size() <= 8 ? 1 : p.size() / 8;
+  for (size_t i = 0; i < p.size(); i += step) {
+    std::cout << " (" << FormatSeconds(p[i].seconds) << ", "
+              << FormatCount(p[i].size) << ")";
+  }
+  if (!p.empty() && (p.size() - 1) % step != 0) {
+    std::cout << " (" << FormatSeconds(p.back().seconds) << ", "
+              << FormatCount(p.back().size) << ")";
+  }
+  std::cout << "\n";
+}
+
+bool RunConvergence(ObsSession& obs, const std::vector<std::string>& graphs,
+                    bool fast) {
   const double budget = fast ? 0.5 : 4.0;
+  bool round_trip_ok = true;
   for (const std::string& name : graphs) {
     const DatasetSpec& spec = DatasetByName(name);
     Graph g = LoadDataset(spec);
@@ -27,78 +65,106 @@ void RunConvergence(const std::vector<std::string>& graphs, bool fast) {
               << ", m=" << FormatCount(g.NumEdges()) << ", budget "
               << FormatSeconds(budget) << ") ---\n";
 
-    struct Trace {
-      std::string name;
-      std::vector<ConvergencePoint> points;
-      uint64_t final_size = 0;
-    };
-    std::vector<Trace> traces;
+    // One curve file per dataset so the regeneration below can filter by
+    // algorithm alone. Truncated up front: the writer appends.
+    const std::string curve_path =
+        (std::filesystem::temp_directory_path() /
+         ("rpmis_fig10_" + name + ".jsonl"))
+            .string();
+    std::filesystem::remove(curve_path);
+    RunRecordWriter curve_out(curve_path);
 
-    {  // ARW, initialized by DU (the paper's configuration).
+    std::vector<Curve> curves;
+    // Runs one algorithm under a forced-progress obs run, commits its
+    // record to both the session sinks and the bench's curve file, and
+    // keeps the in-memory history only for the round-trip check.
+    const auto measure = [&](const std::string& display,
+                             const std::string& algorithm,
+                             const std::string& label, auto&& solve) {
+      ObsSession::Run run =
+          obs.Start(algorithm, name, /*seed=*/0, /*force_progress=*/true);
+      Timer t;
+      const auto r = solve();
+      run.NoteSeconds(t.Seconds());
+      run.record().AddNumber("solution.size", static_cast<double>(r.size));
+      run.Commit();
+      curve_out.Write(run.record());
+      curves.push_back({display, algorithm, label, r.history, {}, r.size});
+    };
+
+    measure("ARW", "arw", "arw", [&] {
+      // Initialized by DU (the paper's configuration).
       ArwOptions o;
       o.time_limit_seconds = budget;
-      ArwResult r = RunArw(g, RunDU(g).in_set, o);
-      traces.push_back({"ARW", r.history, r.size});
-    }
-    {
+      return RunArw(g, RunDU(g).in_set, o);
+    });
+    measure("OnlineMIS", "onlinemis", "arw", [&] {
       OnlineMisOptions o;
       o.time_limit_seconds = budget;
-      ArwResult r = RunOnlineMis(g, o);
-      traces.push_back({"OnlineMIS", r.history, r.size});
-    }
-    {
+      return RunOnlineMis(g, o);
+    });
+    measure("ReduMIS", "redumis", "redumis", [&] {
       ReduMisOptions o;
       o.time_limit_seconds = budget;
-      ArwResult r = RunReduMis(g, o);
-      traces.push_back({"ReduMIS", r.history, r.size});
-    }
-    {
+      return RunReduMis(g, o);
+    });
+    measure("ARW-LT", "arw-lt", "boosted", [&] {
       BoostedOptions o;
       o.time_limit_seconds = budget;
-      BoostedResult r = RunBoostedArw(g, BoostKind::kLinearTime, o);
-      traces.push_back({"ARW-LT", r.history, r.size});
-    }
-    {
+      return RunBoostedArw(g, BoostKind::kLinearTime, o);
+    });
+    measure("ARW-NL", "arw-nl", "boosted", [&] {
       BoostedOptions o;
       o.time_limit_seconds = budget;
-      BoostedResult r = RunBoostedArw(g, BoostKind::kNearLinear, o);
-      traces.push_back({"ARW-NL", r.history, r.size});
+      return RunBoostedArw(g, BoostKind::kNearLinear, o);
+    });
+
+    // Regenerate every curve from the JSONL alone: incumbent samples are
+    // the ones tagged with the solver's improvement label (strided ticks
+    // and inner kernel-level ARW samples are filtered out).
+    for (Curve& c : curves) {
+      for (const obs::ProgressSample& s :
+           ReadProgressSamples(curve_path, c.algorithm)) {
+        if (s.label != c.label) continue;
+        if (s.solution_size == obs::kProgressFieldAbsent) continue;
+        c.points.push_back({s.seconds, s.solution_size});
+      }
+      if (c.points.size() != c.expected.size()) {
+        round_trip_ok = false;
+      } else {
+        for (size_t i = 0; i < c.points.size(); ++i) {
+          if (c.points[i].size != c.expected[i].size) round_trip_ok = false;
+        }
+      }
     }
 
     uint64_t best = 0;
-    for (const auto& t : traces) best = std::max(best, t.final_size);
-    for (const auto& t : traces) {
-      std::cout << "  " << t.name << ":";
-      // Print up to 8 points: first, last, and evenly spaced middles.
-      const auto& p = t.points;
-      const size_t step = p.size() <= 8 ? 1 : p.size() / 8;
-      for (size_t i = 0; i < p.size(); i += step) {
-        std::cout << " (" << FormatSeconds(p[i].seconds) << ", "
-                  << FormatCount(p[i].size) << ")";
-      }
-      if (!p.empty() && (p.size() - 1) % step != 0) {
-        std::cout << " (" << FormatSeconds(p.back().seconds) << ", "
-                  << FormatCount(p.back().size) << ")";
-      }
-      std::cout << "\n";
-    }
+    for (const Curve& c : curves) best = std::max(best, c.final_size);
+    for (const Curve& c : curves) PrintCurve(c);
     // The paper reports the accuracy of ARW-NL's FIRST solution vs the
     // overall best.
-    const auto& arw_nl = traces.back();
+    const Curve& arw_nl = curves.back();
     if (!arw_nl.points.empty() && best > 0) {
       std::cout << "  ARW-NL first-solution accuracy vs best: "
                 << FormatPercent(
                        static_cast<double>(arw_nl.points.front().size) / best)
                 << "\n";
     }
+    std::cout << "  (curves regenerated from " << curve_path << ": "
+              << (round_trip_ok ? "sizes byte-identical to the in-memory "
+                                  "histories"
+                                : "MISMATCH vs in-memory histories (BUG)")
+              << ")\n";
     std::cout << "\n";
   }
+  return round_trip_ok;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool fast = bench::HasFlag(argc, argv, "--fast");
+  ObsSession obs("bench_fig10", argc, argv);
   bench::PrintHeader(
       "Figure 10 - local-search convergence (soc-pokec, indochina, webbase, "
       "it-2004)",
@@ -107,6 +173,5 @@ int main(int argc, char** argv) {
   std::vector<std::string> graphs{"soc-pokec", "indochina", "webbase",
                                   "it-2004"};
   if (fast) graphs.resize(1);
-  RunConvergence(graphs, fast);
-  return 0;
+  return RunConvergence(obs, graphs, fast) ? 0 : 1;
 }

@@ -13,6 +13,7 @@ using namespace rpmis;
 
 int main(int argc, char** argv) {
   const bool fast = bench::HasFlag(argc, argv, "--fast");
+  ObsSession obs("bench_fig15", argc, argv);
   bench::PrintHeader(
       "Figure 15 - local-search convergence (cnr-2000, eu-2005, uk-2002, "
       "uk-2005)",
@@ -28,31 +29,43 @@ int main(int argc, char** argv) {
                       "ARW-NL", "NL-first acc"});
   for (const std::string& name : graphs) {
     Graph g = LoadDataset(DatasetByName(name));
+    // Each run commits one JSONL record (final size, wall time, samples
+    // when --progress is on).
+    const auto measure = [&](const std::string& algorithm, auto&& solve) {
+      ObsSession::Run run = obs.Start(algorithm, name, /*seed=*/0);
+      Timer t;
+      const auto r = solve();
+      run.NoteSeconds(t.Seconds());
+      run.record().AddNumber("solution.size", static_cast<double>(r.size));
+      return r;
+    };
     uint64_t arw, online, redu, lt, nl, nl_first;
+    arw = measure("arw", [&] {
+            ArwOptions o;
+            o.time_limit_seconds = budget;
+            return RunArw(g, RunDU(g).in_set, o);
+          }).size;
+    online = measure("onlinemis", [&] {
+               OnlineMisOptions o;
+               o.time_limit_seconds = budget;
+               return RunOnlineMis(g, o);
+             }).size;
+    redu = measure("redumis", [&] {
+             ReduMisOptions o;
+             o.time_limit_seconds = budget;
+             return RunReduMis(g, o);
+           }).size;
+    lt = measure("arw-lt", [&] {
+           BoostedOptions o;
+           o.time_limit_seconds = budget;
+           return RunBoostedArw(g, BoostKind::kLinearTime, o);
+         }).size;
     {
-      ArwOptions o;
-      o.time_limit_seconds = budget;
-      arw = RunArw(g, RunDU(g).in_set, o).size;
-    }
-    {
-      OnlineMisOptions o;
-      o.time_limit_seconds = budget;
-      online = RunOnlineMis(g, o).size;
-    }
-    {
-      ReduMisOptions o;
-      o.time_limit_seconds = budget;
-      redu = RunReduMis(g, o).size;
-    }
-    {
-      BoostedOptions o;
-      o.time_limit_seconds = budget;
-      lt = RunBoostedArw(g, BoostKind::kLinearTime, o).size;
-    }
-    {
-      BoostedOptions o;
-      o.time_limit_seconds = budget;
-      BoostedResult r = RunBoostedArw(g, BoostKind::kNearLinear, o);
+      BoostedResult r = measure("arw-nl", [&] {
+        BoostedOptions o;
+        o.time_limit_seconds = budget;
+        return RunBoostedArw(g, BoostKind::kNearLinear, o);
+      });
       nl = r.size;
       nl_first = r.history.empty() ? r.size : r.history.front().size;
     }

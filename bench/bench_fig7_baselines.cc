@@ -17,6 +17,7 @@ using namespace rpmis;
 int main(int argc, char** argv) {
   const bool fast = bench::HasFlag(argc, argv, "--fast");
   const bool per_component = bench::HasFlag(argc, argv, "--per-component");
+  ObsSession obs("bench_fig7", argc, argv);
   bench::PrintHeader(
       "Figure 7 - time & memory: existing polynomial baselines vs BDOne",
       "Greedy fastest; BDOne faster than DU; SemiE slowest; similar memory "
@@ -37,10 +38,20 @@ int main(int argc, char** argv) {
     Graph g = LoadDataset(spec);
     std::vector<std::string> trow{spec.name}, mrow{spec.name};
     for (const auto& algo : algos) {
+      // The solve runs in a fork, so the parent-side metrics registry
+      // stays empty; the record carries the child's wall/CPU/paging
+      // figures instead.
+      ObsSession::Run run = obs.Start(algo.name, spec.name, /*seed=*/0);
       ChildMeasurement m = MeasureInChild([&](uint64_t payload[4]) {
         MisSolution sol = bench::RunChecked(algo, g);
         payload[0] = sol.size;
       });
+      bench::NoteChildMeasurement(run.record(), m);
+      if (m.ok) {
+        run.record().AddNumber("solution.size",
+                               static_cast<double>(m.payload[0]));
+      }
+      run.Commit();
       trow.push_back(m.ok ? FormatSeconds(m.seconds) : "fail");
       mrow.push_back(m.ok ? FormatKb(m.peak_rss_delta_kb) : "fail");
     }

@@ -17,6 +17,7 @@ using namespace rpmis;
 int main(int argc, char** argv) {
   const bool fast = bench::HasFlag(argc, argv, "--fast");
   const bool per_component = bench::HasFlag(argc, argv, "--per-component");
+  ObsSession obs("bench_fig8", argc, argv);
   bench::PrintHeader(
       "Figure 8 - time & memory: our four algorithms (+ VCSolver reference)",
       "BDOne ~ LinearTime ~ NearLinear in time/memory; BDTwo ~3x memory and "
@@ -39,14 +40,24 @@ int main(int argc, char** argv) {
     Graph g = LoadDataset(spec);
     std::vector<std::string> trow{spec.name}, mrow{spec.name};
     for (const auto& algo : algos) {
+      // Fork-isolated solve: the record gets the child's rusage figures
+      // (wall/CPU time, faults, peak-RSS growth) via NoteChildMeasurement.
+      ObsSession::Run run = obs.Start(algo.name, spec.name, /*seed=*/0);
       ChildMeasurement m = MeasureInChild([&](uint64_t payload[4]) {
         MisSolution sol = bench::RunChecked(algo, g);
         payload[0] = sol.size;
       });
+      bench::NoteChildMeasurement(run.record(), m);
+      if (m.ok) {
+        run.record().AddNumber("solution.size",
+                               static_cast<double>(m.payload[0]));
+      }
+      run.Commit();
       trow.push_back(m.ok ? FormatSeconds(m.seconds) : "fail");
       mrow.push_back(m.ok ? FormatKb(m.peak_rss_delta_kb) : "fail");
     }
     {
+      ObsSession::Run run = obs.Start("exact", spec.name, /*seed=*/0);
       ChildMeasurement m = MeasureInChild([&](uint64_t payload[4]) {
         VcSolverOptions opt;
         opt.time_limit_seconds = fast ? 5.0 : 30.0;
@@ -54,6 +65,14 @@ int main(int argc, char** argv) {
         payload[0] = r.size;
         payload[1] = r.proven_optimal ? 1 : 0;
       });
+      bench::NoteChildMeasurement(run.record(), m);
+      if (m.ok) {
+        run.record().AddNumber("solution.size",
+                               static_cast<double>(m.payload[0]));
+        run.record().AddNumber("exact.proven_optimal",
+                               static_cast<double>(m.payload[1]));
+      }
+      run.Commit();
       std::string t = m.ok ? FormatSeconds(m.seconds) : "fail";
       if (m.ok && m.payload[1] == 0) t += " (cap)";
       trow.push_back(t);

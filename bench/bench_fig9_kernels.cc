@@ -14,6 +14,7 @@ using namespace rpmis;
 
 int main(int argc, char** argv) {
   const bool fast = bench::HasFlag(argc, argv, "--fast");
+  ObsSession obs("bench_fig9", argc, argv);
   bench::PrintHeader(
       "Figure 9 / Eval-III - kernelization time and kernel size",
       "KernelReduMIS: smallest kernel, much slower; LinearTime: fastest, "
@@ -25,23 +26,43 @@ int main(int argc, char** argv) {
   for (auto& h : HardDatasets()) specs.push_back(h);
   for (const auto& spec : bench::MaybeSubsample(specs, fast, 3)) {
     Graph g = LoadDataset(spec);
-    Timer t1;
-    MisSolution lt = RunLinearTime(g);
-    const double lt_time = t1.Seconds();
-
-    Timer t2;
-    MisSolution nl = RunNearLinear(g);
-    const double nl_time = t2.Seconds();
-
-    Timer t3;
-    Kernelizer full(g);
-    full.Run();
-    const double full_time = t3.Seconds();
+    double lt_time, nl_time, full_time;
+    MisSolution lt, nl;
+    uint64_t full_kernel_n = 0;
+    {
+      ObsSession::Run run = obs.Start("lineartime", spec.name, /*seed=*/0);
+      Timer t;
+      lt = RunLinearTime(g);
+      lt_time = t.Seconds();
+      run.NoteSeconds(lt_time);
+      run.NoteSolution(lt);
+    }
+    {
+      ObsSession::Run run = obs.Start("nearlinear", spec.name, /*seed=*/0);
+      Timer t;
+      nl = RunNearLinear(g);
+      nl_time = t.Seconds();
+      run.NoteSeconds(nl_time);
+      run.NoteSolution(nl);
+    }
+    {
+      ObsSession::Run run = obs.Start("kernelredumis", spec.name, /*seed=*/0);
+      Timer t;
+      Kernelizer full(g);
+      full.Run();
+      full_time = t.Seconds();
+      full_kernel_n = full.Kernel().NumVertices();
+      run.NoteSeconds(full_time);
+      run.record().AddNumber("kernel.vertices",
+                             static_cast<double>(full_kernel_n));
+      run.record().AddNumber("kernel.edges",
+                             static_cast<double>(full.Kernel().NumEdges()));
+    }
 
     table.AddRow({spec.name, FormatSeconds(lt_time),
                   FormatCount(lt.kernel_vertices), FormatSeconds(nl_time),
                   FormatCount(nl.kernel_vertices), FormatSeconds(full_time),
-                  FormatCount(full.Kernel().NumVertices())});
+                  FormatCount(full_kernel_n)});
   }
   table.Print(std::cout);
   std::cout << "(kernel = remaining vertices when the first peel would be "

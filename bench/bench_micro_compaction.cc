@@ -32,8 +32,8 @@ struct Side {
   MisSolution sol;       // from the last rep (all reps identical)
 };
 
-Side Run(const std::string& label, const Graph& g, bool compaction,
-         double threshold, int reps) {
+Side Run(ObsSession& obs, const std::string& label, const Graph& g,
+         bool compaction, double threshold, int reps) {
   Side out;
   out.label = label;
   for (int r = 0; r < reps; ++r) {
@@ -41,9 +41,13 @@ Side Run(const std::string& label, const Graph& g, bool compaction,
     opt.lp_reduction = false;
     opt.compaction.enabled = compaction;
     opt.compaction.threshold = threshold;
+    ObsSession::Run run = obs.Start("nearlinear", "chung-lu-powerlaw", 42);
+    run.record().AddString("config", label);
     Timer t;
     MisSolution sol = RunNearLinear(g, nullptr, opt);
     const double s = t.Seconds();
+    run.NoteSeconds(s);
+    run.NoteSolution(sol);
     if (r == 0 || s < out.seconds) out.seconds = s;
     out.sol = std::move(sol);
   }
@@ -66,6 +70,7 @@ int main(int argc, char** argv) {
   const bool fast = HasFlag(argc, argv, "--fast");
   const Vertex n = fast ? 200'000 : 1'000'000;
   const int reps = fast ? 1 : 3;
+  ObsSession obs("bench_micro_compaction", argc, argv);
 
   PrintHeader("micro: mid-run compaction (NearLinear)",
               "rebuilding the alive subgraph keeps reduction/peeling scans "
@@ -80,8 +85,8 @@ int main(int argc, char** argv) {
               reps);
 
   std::vector<Side> sides;
-  sides.push_back(Run("compaction (thr=0.5)", g, true, 0.5, reps));
-  sides.push_back(Run("no-compaction", g, false, 0.5, reps));
+  sides.push_back(Run(obs, "compaction (thr=0.5)", g, true, 0.5, reps));
+  sides.push_back(Run(obs, "no-compaction", g, false, 0.5, reps));
 
   TablePrinter table(
       {"config", "sec", "rebuilds", "slots scanned", "slots kept"});

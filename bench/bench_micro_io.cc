@@ -85,6 +85,8 @@ int main(int argc, char** argv) {
   const uint64_t target_edges = fast ? 1'000'000 : 10'000'000;
   const Vertex n = static_cast<Vertex>(target_edges / 5);
   const int reps = fast ? 1 : 2;
+  // Constructed before any file I/O so --trace covers the ingest spans.
+  ObsSession obs("bench_micro_io", argc, argv);
 
   PrintHeader("micro: graph ingest throughput",
               "I/O must run at disk/memory speed so solve time dominates "
@@ -146,6 +148,13 @@ int main(int argc, char** argv) {
 
   TablePrinter table({"reader", "MB", "sec", "MB/s", "Medges/s"});
   for (const auto& [name, t] : rows) {
+    // The machine twin of the table row: one record per reader.
+    ObsSession::Run run = obs.Start("ingest", name, /*seed=*/7);
+    run.NoteSeconds(t.seconds);
+    run.record().AddNumber("io.bytes", static_cast<double>(t.bytes));
+    run.record().AddNumber("io.edges", static_cast<double>(t.edges));
+    run.record().AddNumber("io.mb_per_s", MbPerSec(t));
+    run.record().AddNumber("io.medges_per_s", MEdgesPerSec(t));
     table.AddRow({name, Fmt(static_cast<double>(t.bytes) / 1e6),
                   Fmt(t.seconds * 1000) + "ms", Fmt(MbPerSec(t)),
                   Fmt(MEdgesPerSec(t))});

@@ -12,6 +12,7 @@ using namespace rpmis;
 
 int main(int argc, char** argv) {
   const bool fast = bench::HasFlag(argc, argv, "--fast");
+  ObsSession obs("bench_table2", argc, argv);
   bench::PrintHeader("Table 2 - dataset statistics",
                      "20 power-law graphs, average degree 2.75 - 115, "
                      "sorted by edge count; many low-degree vertices.");
@@ -22,6 +23,15 @@ int main(int argc, char** argv) {
        bench::MaybeSubsample(AllDatasets(), fast, 6)) {
     Graph g = LoadDataset(spec);
     DegreeStats s = ComputeDegreeStats(g);
+    ObsSession::Run run = obs.Start("stats", spec.name, /*seed=*/0);
+    run.record().AddNumber("graph.vertices",
+                           static_cast<double>(g.NumVertices()));
+    run.record().AddNumber("graph.edges", static_cast<double>(g.NumEdges()));
+    run.record().AddNumber("graph.avg_degree", s.avg_degree);
+    run.record().AddNumber("graph.max_degree",
+                           static_cast<double>(s.max_degree));
+    run.record().AddNumber("graph.degree_le2",
+                           static_cast<double>(s.num_degree_le2));
     table.AddRow({spec.name, spec.hard ? "hard" : "easy",
                   FormatCount(g.NumVertices()), FormatCount(g.NumEdges()),
                   FormatDouble(s.avg_degree, 2), FormatCount(s.max_degree),

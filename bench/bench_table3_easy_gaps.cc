@@ -18,6 +18,7 @@ using namespace rpmis;
 int main(int argc, char** argv) {
   const bool fast = bench::HasFlag(argc, argv, "--fast");
   const bool per_component = bench::HasFlag(argc, argv, "--per-component");
+  ObsSession obs("bench_table3", argc, argv);
   bench::PrintHeader(
       "Table 3 - gap to the independence number (easy instances)",
       "Greedy >> DU, SemiE > BDOne > BDTwo/LinearTime > NearLinear; "
@@ -42,7 +43,16 @@ int main(int argc, char** argv) {
     Graph g = LoadDataset(spec);
     VcSolverOptions exact_opt;
     exact_opt.time_limit_seconds = fast ? 5.0 : 30.0;
-    const VcSolverResult exact = SolveExactMis(g, exact_opt);
+    VcSolverResult exact;
+    {
+      ObsSession::Run run = obs.Start("exact", spec.name, /*seed=*/0);
+      Timer t;
+      exact = SolveExactMis(g, exact_opt);
+      run.NoteSeconds(t.Seconds());
+      run.record().AddNumber("solution.size", static_cast<double>(exact.size));
+      run.record().AddNumber("exact.proven_optimal",
+                             exact.proven_optimal ? 1.0 : 0.0);
+    }
 
     std::vector<std::string> row{spec.name,
                                  (exact.proven_optimal ? "" : ">=") +
@@ -50,7 +60,7 @@ int main(int argc, char** argv) {
     uint64_t nl_size = 0, nl_kernel = 0;
     bool nl_certified = false;
     for (const auto& algo : algos) {
-      const MisSolution sol = bench::RunChecked(algo, g);
+      const MisSolution sol = bench::MeasureChecked(obs, algo, g, spec.name).sol;
       const int64_t gap = static_cast<int64_t>(exact.size) -
                           static_cast<int64_t>(sol.size);
       std::string cell = std::to_string(gap);

@@ -22,6 +22,7 @@ using namespace rpmis;
 int main(int argc, char** argv) {
   const bool fast = bench::HasFlag(argc, argv, "--fast");
   const bool per_component = bench::HasFlag(argc, argv, "--per-component");
+  ObsSession obs("bench_table4", argc, argv);
   bench::PrintHeader(
       "Table 4 - gap to the best local-search result (hard instances)",
       "Greedy >> DU/SemiE >> BDOne > BDTwo/LinearTime > NearLinear (BDTwo "
@@ -48,16 +49,28 @@ int main(int argc, char** argv) {
     // and the ReduMIS substitute with a scaled-down budget.
     uint64_t best = 0;
     {
+      ObsSession::Run run = obs.Start("arw-nl", spec.name, /*seed=*/0);
+      Timer t;
       BoostedOptions bo;
       bo.time_limit_seconds = fast ? 0.5 : 4.0;
-      best = std::max(best, RunBoostedArw(g, BoostKind::kNearLinear, bo).size);
+      const uint64_t size = RunBoostedArw(g, BoostKind::kNearLinear, bo).size;
+      run.NoteSeconds(t.Seconds());
+      run.record().AddNumber("solution.size", static_cast<double>(size));
+      best = std::max(best, size);
+    }
+    {
+      ObsSession::Run run = obs.Start("redumis", spec.name, /*seed=*/0);
+      Timer t;
       ReduMisOptions ro;
       ro.time_limit_seconds = fast ? 0.5 : 4.0;
-      best = std::max(best, RunReduMis(g, ro).size);
+      const uint64_t size = RunReduMis(g, ro).size;
+      run.NoteSeconds(t.Seconds());
+      run.record().AddNumber("solution.size", static_cast<double>(size));
+      best = std::max(best, size);
     }
     std::vector<MisSolution> sols;
     for (const auto& algo : algos) {
-      sols.push_back(bench::RunChecked(algo, g));
+      sols.push_back(bench::MeasureChecked(obs, algo, g, spec.name).sol);
       best = std::max(best, sols.back().size);  // heuristics can beat
                                                 // short LS runs
     }

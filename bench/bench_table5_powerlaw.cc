@@ -19,6 +19,7 @@ using namespace rpmis;
 int main(int argc, char** argv) {
   const bool fast = bench::HasFlag(argc, argv, "--fast");
   const bool per_component = bench::HasFlag(argc, argv, "--per-component");
+  ObsSession obs("bench_table5", argc, argv);
   bench::PrintHeader(
       "Table 5 - power-law random graphs, beta = 1.9 .. 2.7",
       "BDOne reports certified maximum independent sets (0*) on all PLR "
@@ -39,16 +40,27 @@ int main(int argc, char** argv) {
   int index = 1;
   for (double beta = 1.9; beta < 2.75; beta += 0.1, ++index) {
     if (fast && index > 3) break;
-    Graph g = ChungLuPowerLaw(n, beta, 3.0, /*seed=*/500 + index);
+    std::string dataset = "PLR";
+    dataset += std::to_string(index);
+    const uint64_t seed = 500 + static_cast<uint64_t>(index);
+    Graph g = ChungLuPowerLaw(n, beta, 3.0, seed);
     VcSolverOptions exact_opt;
     exact_opt.time_limit_seconds = fast ? 5.0 : 30.0;
-    const VcSolverResult exact = SolveExactMis(g, exact_opt);
-    std::vector<std::string> row{"PLR" + std::to_string(index),
-                                 FormatDouble(beta, 1),
+    VcSolverResult exact;
+    {
+      ObsSession::Run run = obs.Start("exact", dataset, seed);
+      Timer t;
+      exact = SolveExactMis(g, exact_opt);
+      run.NoteSeconds(t.Seconds());
+      run.record().AddNumber("solution.size", static_cast<double>(exact.size));
+      run.record().AddNumber("exact.proven_optimal",
+                             exact.proven_optimal ? 1.0 : 0.0);
+    }
+    std::vector<std::string> row{dataset, FormatDouble(beta, 1),
                                  (exact.proven_optimal ? "" : ">=") +
                                      FormatCount(exact.size)};
     for (const auto& algo : algos) {
-      const MisSolution sol = bench::RunChecked(algo, g);
+      const MisSolution sol = bench::MeasureChecked(obs, algo, g, dataset).sol;
       std::string cell = std::to_string(static_cast<int64_t>(exact.size) -
                                         static_cast<int64_t>(sol.size));
       if (sol.provably_maximum) cell += "*";

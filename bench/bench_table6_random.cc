@@ -22,6 +22,7 @@ using namespace rpmis;
 int main(int argc, char** argv) {
   const bool fast = bench::HasFlag(argc, argv, "--fast");
   const bool per_component = bench::HasFlag(argc, argv, "--per-component");
+  ObsSession obs("bench_table6", argc, argv);
   bench::PrintHeader(
       "Table 6 - uniform random graphs, average degree 2.00 .. 3.00",
       "All our algorithms certify optima on R1-R3; R4/R5 leave small gaps "
@@ -44,23 +45,32 @@ int main(int argc, char** argv) {
   int index = 1;
   for (double d : avg_degrees) {
     if (fast && index > 3) break;
-    Graph g = ErdosRenyiGnm(n, static_cast<uint64_t>(n * d / 2),
-                            /*seed=*/600 + index);
+    std::string dataset = "R";
+    dataset += std::to_string(index);
+    const uint64_t seed = 600 + static_cast<uint64_t>(index);
+    Graph g = ErdosRenyiGnm(n, static_cast<uint64_t>(n * d / 2), seed);
     VcSolverOptions exact_opt;
     exact_opt.time_limit_seconds = fast ? 5.0 : 30.0;
-    const VcSolverResult exact = SolveExactMis(g, exact_opt);
+    VcSolverResult exact;
+    {
+      ObsSession::Run run = obs.Start("exact", dataset, seed);
+      Timer t;
+      exact = SolveExactMis(g, exact_opt);
+      run.NoteSeconds(t.Seconds());
+      run.record().AddNumber("solution.size", static_cast<double>(exact.size));
+      run.record().AddNumber("exact.proven_optimal",
+                             exact.proven_optimal ? 1.0 : 0.0);
+    }
 
     std::vector<MisSolution> sols;
     uint64_t best = exact.size;
     for (const auto& algo : algos) {
-      sols.push_back(bench::RunChecked(algo, g));
+      sols.push_back(bench::MeasureChecked(obs, algo, g, dataset).sol);
       best = std::max(best, sols.back().size);
     }
     std::string best_cell = FormatCount(best);
     if (!exact.proven_optimal) best_cell.insert(0, ">=");
-    std::string rname = "R";
-    rname += std::to_string(index);
-    std::vector<std::string> row{std::move(rname), FormatDouble(d, 2),
+    std::vector<std::string> row{dataset, FormatDouble(d, 2),
                                  std::move(best_cell)};
     for (const MisSolution& sol : sols) {
       std::string cell = std::to_string(static_cast<int64_t>(best) -

@@ -12,6 +12,7 @@ using namespace rpmis;
 
 int main(int argc, char** argv) {
   const bool fast = bench::HasFlag(argc, argv, "--fast");
+  ObsSession obs("bench_table7", argc, argv);
   bench::PrintHeader(
       "Table 7 - upper bounds: existing (clique/LP/cycle cover) vs "
       "NearLinear's |I| + |R|",
@@ -26,7 +27,16 @@ int main(int argc, char** argv) {
     const uint64_t lp = LpUpperBound(g);
     const uint64_t cycle = CycleCoverBound(g);
     const uint64_t existing = std::min({clique, lp, cycle});
+    ObsSession::Run run = obs.Start("nearlinear", spec.name, /*seed=*/0);
+    Timer t;
     const MisSolution nl = RunNearLinear(g);
+    run.NoteSeconds(t.Seconds());
+    run.NoteSolution(nl);
+    run.record().AddNumber("bound.clique_cover", static_cast<double>(clique));
+    run.record().AddNumber("bound.lp", static_cast<double>(lp));
+    run.record().AddNumber("bound.cycle_cover", static_cast<double>(cycle));
+    run.record().AddNumber("bound.existing_best",
+                           static_cast<double>(existing));
     table.AddRow({spec.name, FormatCount(clique), FormatCount(lp),
                   FormatCount(cycle), FormatCount(existing),
                   FormatCount(nl.UpperBound()), FormatCount(nl.size)});

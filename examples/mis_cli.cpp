@@ -7,6 +7,7 @@
 //                   arw-lt|arw-nl|exact]
 //           [--time=SECONDS] [--cover] [--out=solution.txt] [--per-component]
 //           [--stats] [--no-compaction] [--compaction-threshold=F]
+//           [--trace=FILE] [--metrics=FILE] [--progress[=K]] [--records=FILE]
 //
 // The solution file lists one selected vertex id per line (original file
 // ids are not preserved for edge lists with sparse ids; the tool reports
@@ -19,6 +20,7 @@
 #include "baselines/du.h"
 #include "baselines/greedy.h"
 #include "baselines/semi_external.h"
+#include "benchkit/obs_session.h"
 #include "benchkit/stats.h"
 #include "exact/vc_solver.h"
 #include "graph/io.h"
@@ -66,7 +68,14 @@ int Usage() {
          "               [--no-compaction] [--compaction-threshold=F]\n"
          "                (mid-run alive-subgraph rebuilds; F in (0,1], rebuild\n"
          "                when active < F * last build, default 0.5; the\n"
-         "                solution is identical either way)\n";
+         "                solution is identical either way)\n"
+         "               [--trace=FILE]      (Chrome trace-event JSON of solver\n"
+         "                phases; load in Perfetto or chrome://tracing)\n"
+         "               [--metrics=FILE]    (counter/gauge snapshot as JSONL)\n"
+         "               [--progress[=K]]    (sample solver progress every K\n"
+         "                events, default 8192; lands in --records output)\n"
+         "               [--records=FILE]    (self-describing JSONL run record;\n"
+         "                \"-\" streams to stdout)\n";
   return 2;
 }
 
@@ -91,6 +100,10 @@ int main(int argc, char** argv) {
     std::cerr << "--compaction-threshold must be in (0, 1]\n";
     return 2;
   }
+
+  // Owns the observability sinks (--trace/--metrics/--progress/--records)
+  // for the whole invocation; the trace also covers the graph load below.
+  ObsSession obs("mis_cli", argc, argv);
 
   Graph g;
   try {
@@ -117,12 +130,14 @@ int main(int argc, char** argv) {
   std::cerr << "loaded: n = " << g.NumVertices() << ", m = " << g.NumEdges()
             << "\n";
 
+  ObsSession::Run run = obs.Start(algo, path, /*seed=*/0);
   Timer timer;
   std::vector<uint8_t> in_set;
   std::string certificate;
   std::string stats_report;
   const auto take = [&](MisSolution sol) {
     if (want_stats) stats_report = FormatSolverStats(sol);
+    run.NoteSolution(sol);
     in_set = std::move(sol.in_set);
   };
   if (algo == "greedy") {
@@ -175,6 +190,12 @@ int main(int argc, char** argv) {
   }
   uint64_t size = 0;
   for (uint8_t f : in_set) size += f;
+  run.NoteSeconds(seconds);
+  run.record().AddNumber("graph.vertices", static_cast<double>(g.NumVertices()));
+  run.record().AddNumber("graph.edges", static_cast<double>(g.NumEdges()));
+  run.record().AddNumber("solution.final_size", static_cast<double>(size));
+  if (!certificate.empty()) run.record().AddString("certificate", certificate);
+  run.Commit();
   if (want_cover) {
     in_set = Complement(in_set);
     size = g.NumVertices() - size;

@@ -1,0 +1,133 @@
+// Harness-side observability session: one object per bench binary (or
+// mis_cli invocation) that owns the sinks, parses the shared flag
+// vocabulary, and turns every measured run into a JSONL run record.
+//
+// Flags (same spelling everywhere):
+//   --trace=FILE     Chrome trace-event JSON, one file for the whole
+//                    process (spans from every run, Perfetto-loadable).
+//   --metrics=FILE   per-run metrics snapshots as JSONL.
+//   --progress[=K]   progress sampling every K solver events (default
+//                    8192); samples land in the run records.
+//   --records=FILE   self-describing JSONL run records ("-" = stdout).
+//
+// Usage:
+//   ObsSession obs("bench_fig10", argc, argv);
+//   for (each measured run) {
+//     auto run = obs.Start("nearlinear", dataset, seed);
+//     ... solve (hooks see the installed sinks) ...
+//     run.NoteSeconds(t); run.NoteSolution(sol);
+//   }  // destructor commits the record
+//
+// With no obs flag given, Start() still installs a metrics registry only
+// when a sink needs it — the solver-side cost stays one null check per
+// hook, and no files are written.
+#ifndef RPMIS_BENCHKIT_OBS_SESSION_H_
+#define RPMIS_BENCHKIT_OBS_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "benchkit/record.h"
+#include "mis/solution.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/progress.h"
+#include "obs/resource.h"
+#include "obs/trace.h"
+
+namespace rpmis {
+
+/// True for arguments the ObsSession consumes (--trace=, --metrics=,
+/// --progress[...], --records=). Binaries with strict argv parsing skip
+/// these.
+bool IsObsFlag(std::string_view arg);
+
+class ObsSession {
+ public:
+  /// Scans argv for the obs flags; does not modify argv. `bench` names
+  /// the producing binary in every record.
+  ObsSession(std::string bench, int argc, char** argv);
+  /// Writes the trace file (when tracing) and closes the sinks.
+  ~ObsSession();
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  bool tracing() const { return trace_ != nullptr; }
+  bool progress_enabled() const { return progress_every_ != 0; }
+  bool recording() const { return records_ != nullptr; }
+  bool metrics_enabled() const { return metrics_on_; }
+  uint64_t progress_every() const { return progress_every_; }
+  obs::TraceSink* trace() { return trace_.get(); }
+
+  /// One measured run: installs the session's sinks (plus a fresh
+  /// metrics registry and progress sampler) for its lifetime, runs the
+  /// resource probe, and commits one run record on destruction.
+  class Run {
+   public:
+    Run(ObsSession* session, std::string algorithm, std::string dataset,
+        uint64_t seed, bool force_progress);
+    ~Run();
+
+    Run(const Run&) = delete;
+    Run& operator=(const Run&) = delete;
+
+    RunRecord& record() { return record_; }
+    obs::MetricsRegistry& metrics() { return metrics_; }
+    obs::ProgressSampler& sampler() { return sampler_; }
+
+    /// Records the run's headline wall time ("time.wall_seconds").
+    void NoteSeconds(double seconds) {
+      record_.AddNumber("time.wall_seconds", seconds);
+    }
+
+    /// Publishes the solution's counters into the run's registry and
+    /// records the headline size figures.
+    void NoteSolution(const MisSolution& sol);
+
+    /// Snapshots sinks + resource probe and writes the record. Runs at
+    /// most once; the destructor calls it if the caller did not.
+    void Commit();
+
+   private:
+    ObsSession* session_;
+    obs::MetricsRegistry metrics_;
+    obs::ProgressSampler sampler_;
+    obs::ResourceProbe probe_;
+    obs::ScopedObservability scoped_;
+    RunRecord record_;
+    bool committed_ = false;
+  };
+
+  /// Starts a measured run. `force_progress` enables sampling for this
+  /// run even without --progress (convergence benches always sample).
+  Run Start(std::string algorithm, std::string dataset, uint64_t seed,
+            bool force_progress = false) {
+    return Run(this, std::move(algorithm), std::move(dataset), seed,
+               force_progress);
+  }
+
+ private:
+  friend class Run;
+  void CommitRun(const RunRecord& record);
+
+  std::string bench_;
+  std::vector<std::string> args_;
+  std::unique_ptr<obs::TraceSink> trace_;
+  // Session-level install of the trace sink alone, so spans outside any
+  // measured run (graph ingest, setup) land in the trace too. Runs nest
+  // their own full install on top.
+  std::unique_ptr<obs::ScopedObservability> session_scope_;
+  std::unique_ptr<RunRecordWriter> records_;
+  std::unique_ptr<RunRecordWriter> metrics_out_;
+  std::string trace_path_;
+  uint64_t progress_every_ = 0;  // 0 = sampling off
+  bool metrics_on_ = false;
+};
+
+}  // namespace rpmis
+
+#endif  // RPMIS_BENCHKIT_OBS_SESSION_H_

@@ -1,0 +1,246 @@
+#include "benchkit/record.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+#include "support/parallel.h"
+
+namespace rpmis {
+
+namespace {
+
+void AppendField(const char* key, std::string* out, bool* first) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  obs::AppendJsonString(key, out);
+  out->push_back(':');
+}
+
+void AppendSample(const obs::ProgressSample& s, std::string* out) {
+  out->push_back('{');
+  bool first = true;
+  AppendField("seconds", out, &first);
+  obs::AppendJsonNumber(s.seconds, out);
+  AppendField("events", out, &first);
+  obs::AppendJsonNumber(static_cast<double>(s.events), out);
+  const auto maybe = [&](const char* key, uint64_t v) {
+    if (v == obs::kProgressFieldAbsent) return;
+    AppendField(key, out, &first);
+    obs::AppendJsonNumber(static_cast<double>(v), out);
+  };
+  maybe("live_vertices", s.live_vertices);
+  maybe("live_edges", s.live_edges);
+  maybe("solution_size", s.solution_size);
+  maybe("upper_bound", s.upper_bound);
+  if (!s.label.empty()) {
+    AppendField("label", out, &first);
+    obs::AppendJsonString(s.label, out);
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+const char* BuildFlagsString() {
+  return
+#ifdef RPMIS_BUILD_FLAGS
+      RPMIS_BUILD_FLAGS
+#elif defined(NDEBUG)
+      "release"
+#else
+      "debug"
+#endif
+#ifdef RPMIS_NO_OBS
+      " RPMIS_NO_OBS"
+#endif
+      ;
+}
+
+RunRecord MakeRunRecord(std::string bench, std::string algorithm,
+                        std::string dataset, uint64_t seed) {
+  RunRecord r;
+  r.bench = std::move(bench);
+  r.algorithm = std::move(algorithm);
+  r.dataset = std::move(dataset);
+  r.seed = seed;
+  r.threads = NumThreads();
+  return r;
+}
+
+std::string FormatRunRecord(const RunRecord& record) {
+  std::string out;
+  out.reserve(256 + record.samples.size() * 96);
+  out.push_back('{');
+  bool first = true;
+  AppendField("schema", &out, &first);
+  obs::AppendJsonString("rpmis.run/1", &out);
+  AppendField("bench", &out, &first);
+  obs::AppendJsonString(record.bench, &out);
+  AppendField("algorithm", &out, &first);
+  obs::AppendJsonString(record.algorithm, &out);
+  if (!record.dataset.empty()) {
+    AppendField("dataset", &out, &first);
+    obs::AppendJsonString(record.dataset, &out);
+  }
+  AppendField("seed", &out, &first);
+  obs::AppendJsonNumber(static_cast<double>(record.seed), &out);
+  AppendField("threads", &out, &first);
+  obs::AppendJsonNumber(static_cast<double>(record.threads), &out);
+  AppendField("build_flags", &out, &first);
+  obs::AppendJsonString(BuildFlagsString(), &out);
+  if (!record.args.empty()) {
+    AppendField("args", &out, &first);
+    out.push_back('[');
+    for (size_t i = 0; i < record.args.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      obs::AppendJsonString(record.args[i], &out);
+    }
+    out.push_back(']');
+  }
+  for (const auto& [name, value] : record.numbers) {
+    AppendField(name.c_str(), &out, &first);
+    obs::AppendJsonNumber(value, &out);
+  }
+  for (const auto& [name, value] : record.strings) {
+    AppendField(name.c_str(), &out, &first);
+    obs::AppendJsonString(value, &out);
+  }
+  if (!record.metrics.empty()) {
+    AppendField("metrics", &out, &first);
+    out.push_back('{');
+    bool mfirst = true;
+    for (const auto& entry : record.metrics) {
+      AppendField(entry.name.c_str(), &out, &mfirst);
+      obs::AppendJsonNumber(entry.AsDouble(), &out);
+    }
+    out.push_back('}');
+  }
+  if (!record.samples.empty()) {
+    AppendField("samples", &out, &first);
+    out.push_back('[');
+    for (size_t i = 0; i < record.samples.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendSample(record.samples[i], &out);
+    }
+    out.push_back(']');
+  }
+  if (record.resource.has_value()) {
+    const obs::ResourceUsage& r = *record.resource;
+    AppendField("resource", &out, &first);
+    out.push_back('{');
+    bool rfirst = true;
+    AppendField("utime_seconds", &out, &rfirst);
+    obs::AppendJsonNumber(r.utime_seconds, &out);
+    AppendField("stime_seconds", &out, &rfirst);
+    obs::AppendJsonNumber(r.stime_seconds, &out);
+    AppendField("minor_faults", &out, &rfirst);
+    obs::AppendJsonNumber(static_cast<double>(r.minor_faults), &out);
+    AppendField("major_faults", &out, &rfirst);
+    obs::AppendJsonNumber(static_cast<double>(r.major_faults), &out);
+    if (r.vm_hwm_available) {
+      AppendField("vm_hwm_kb", &out, &rfirst);
+      obs::AppendJsonNumber(static_cast<double>(r.vm_hwm_kb), &out);
+    }
+    if (r.perf_available) {
+      AppendField("cycles", &out, &rfirst);
+      obs::AppendJsonNumber(static_cast<double>(r.cycles), &out);
+      AppendField("instructions", &out, &rfirst);
+      obs::AppendJsonNumber(static_cast<double>(r.instructions), &out);
+      AppendField("llc_misses", &out, &rfirst);
+      obs::AppendJsonNumber(static_cast<double>(r.llc_misses), &out);
+    }
+    out.push_back('}');
+  }
+  out.push_back('}');
+  return out;
+}
+
+RunRecordWriter::RunRecordWriter(std::string path) : path_(std::move(path)) {}
+
+RunRecordWriter::~RunRecordWriter() {
+  if (file_ != nullptr && file_ != stdout) {
+    std::fclose(static_cast<FILE*>(file_));
+  }
+}
+
+void RunRecordWriter::Write(const RunRecord& record) {
+  if (!ok_) return;
+  if (file_ == nullptr) {
+    if (path_ == "-") {
+      file_ = stdout;
+    } else {
+      file_ = std::fopen(path_.c_str(), "a");
+      if (file_ == nullptr) {
+        std::fprintf(stderr, "rpmis: cannot open run-record file %s\n",
+                     path_.c_str());
+        ok_ = false;
+        return;
+      }
+    }
+  }
+  const std::string line = FormatRunRecord(record) + "\n";
+  FILE* f = static_cast<FILE*>(file_);
+  if (std::fwrite(line.data(), 1, line.size(), f) != line.size()) ok_ = false;
+  std::fflush(f);
+}
+
+std::vector<obs::ProgressSample> ReadProgressSamples(
+    const std::string& path, const std::string& algorithm) {
+  std::vector<obs::ProgressSample> out;
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return out;
+  std::string line;
+  char buf[4096];
+  auto flush_line = [&]() {
+    if (line.empty()) return;
+    obs::JsonValue doc;
+    if (obs::ParseJson(line, &doc, nullptr) && doc.IsObject()) {
+      const obs::JsonValue* algo = doc.Find("algorithm");
+      const bool match = algorithm.empty() ||
+                         (algo != nullptr && algo->IsString() &&
+                          algo->string_value == algorithm);
+      const obs::JsonValue* samples = doc.Find("samples");
+      if (match && samples != nullptr && samples->IsArray()) {
+        for (const obs::JsonValue& s : samples->array) {
+          if (!s.IsObject()) continue;
+          obs::ProgressSample sample;
+          const auto num = [&](const char* key, uint64_t absent) {
+            const obs::JsonValue* v = s.Find(key);
+            return v != nullptr && v->IsNumber()
+                       ? static_cast<uint64_t>(v->number_value)
+                       : absent;
+          };
+          if (const obs::JsonValue* sec = s.Find("seconds");
+              sec != nullptr && sec->IsNumber()) {
+            sample.seconds = sec->number_value;
+          }
+          sample.events = num("events", 0);
+          sample.live_vertices =
+              num("live_vertices", obs::kProgressFieldAbsent);
+          sample.live_edges = num("live_edges", obs::kProgressFieldAbsent);
+          sample.solution_size =
+              num("solution_size", obs::kProgressFieldAbsent);
+          sample.upper_bound = num("upper_bound", obs::kProgressFieldAbsent);
+          if (const obs::JsonValue* label = s.Find("label");
+              label != nullptr && label->IsString()) {
+            sample.label = label->string_value;
+          }
+          out.push_back(std::move(sample));
+        }
+      }
+    }
+    line.clear();
+  };
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    line += buf;
+    if (!line.empty() && line.back() == '\n') {
+      line.pop_back();
+      flush_line();
+    }
+  }
+  flush_line();
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace rpmis

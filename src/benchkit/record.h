@@ -1,0 +1,97 @@
+// Self-describing JSONL run records: one line per measured run, the
+// machine-readable twin of every human table the harness prints.
+//
+// Every record embeds the reproducibility envelope — schema version,
+// bench binary, algorithm, dataset, seed, resolved RPMIS_THREADS, build
+// flags — plus whatever the run produced: scalar numbers, the metrics
+// registry snapshot, progress samples, and the resource probe's figures.
+// Consumers parse lines independently (append-friendly, crash-tolerant);
+// obs/validate.h checks the envelope, EXPERIMENTS.md documents how the
+// convergence figures regenerate from the samples alone.
+#ifndef RPMIS_BENCHKIT_RECORD_H_
+#define RPMIS_BENCHKIT_RECORD_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/resource.h"
+
+namespace rpmis {
+
+struct RunRecord {
+  std::string bench;      // producing binary ("bench_fig10", "mis_cli")
+  std::string algorithm;  // "nearlinear", "arw-lt", ...
+  std::string dataset;    // dataset/instance name; may be empty
+  uint64_t seed = 0;
+  size_t threads = 1;             // resolved RPMIS_THREADS at run time
+  std::vector<std::string> args;  // the binary's argv tail, verbatim
+
+  /// Scalar results (seconds, solution size, speedups...). Names follow
+  /// the metrics convention ("time.wall_seconds", "solution.size").
+  std::vector<std::pair<std::string, double>> numbers;
+  std::vector<std::pair<std::string, std::string>> strings;
+
+  /// Counter/gauge snapshot (obs::MetricsRegistry::Snapshot()).
+  std::vector<obs::MetricsRegistry::Entry> metrics;
+
+  /// Progress samples (obs::ProgressSampler::Samples()).
+  std::vector<obs::ProgressSample> samples;
+
+  std::optional<obs::ResourceUsage> resource;
+
+  void AddNumber(std::string name, double value) {
+    numbers.emplace_back(std::move(name), value);
+  }
+  void AddString(std::string name, std::string value) {
+    strings.emplace_back(std::move(name), std::move(value));
+  }
+};
+
+/// Prefills the reproducibility envelope: threads from RPMIS_THREADS (via
+/// NumThreads()), seed as given. Build flags are compiled in.
+RunRecord MakeRunRecord(std::string bench, std::string algorithm,
+                        std::string dataset, uint64_t seed);
+
+/// The compiled-in build description embedded in every record
+/// (build type, compiler, observability compile state).
+const char* BuildFlagsString();
+
+/// Serializes `record` as one JSON object (no trailing newline).
+std::string FormatRunRecord(const RunRecord& record);
+
+/// Appends records to a JSONL file. Opens lazily on first Write; a path
+/// of "-" streams to stdout. Write failures are sticky and reported via
+/// ok().
+class RunRecordWriter {
+ public:
+  explicit RunRecordWriter(std::string path);
+  ~RunRecordWriter();
+
+  RunRecordWriter(const RunRecordWriter&) = delete;
+  RunRecordWriter& operator=(const RunRecordWriter&) = delete;
+
+  void Write(const RunRecord& record);
+  bool ok() const { return ok_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  void* file_ = nullptr;  // FILE*; void* keeps <cstdio> out of the header
+  bool ok_ = true;
+};
+
+/// Reads progress samples back from a JSONL record file: the
+/// "samples" arrays of every record whose "algorithm" matches (or all
+/// records when `algorithm` is empty), in file order. This is the parse
+/// half of the convergence-from-JSONL recipe.
+std::vector<obs::ProgressSample> ReadProgressSamples(
+    const std::string& path, const std::string& algorithm = "");
+
+}  // namespace rpmis
+
+#endif  // RPMIS_BENCHKIT_RECORD_H_

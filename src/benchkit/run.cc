@@ -1,9 +1,12 @@
 #include "benchkit/run.h"
 
 #include <malloc.h>
+#include <sys/resource.h>
+#include <sys/time.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -15,15 +18,26 @@ namespace rpmis {
 
 namespace {
 
-uint64_t ReadStatusKb(const char* key) {
-  FILE* f = std::fopen("/proc/self/status", "r");
-  if (f == nullptr) return 0;
+// Reads "<key>: <value> kB" from /proc/self/status (or the
+// RPMIS_PROC_STATUS_PATH override). nullopt when the file is unreadable
+// or the key is missing/unparseable — callers decide whether that is a
+// hard error, a logged warning, or an absent record field.
+std::optional<uint64_t> TryReadStatusKb(const char* key) {
+  const char* path = "/proc/self/status";
+  if (const char* env = std::getenv("RPMIS_PROC_STATUS_PATH")) {
+    if (env[0] != '\0') path = env;
+  }
+  FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return std::nullopt;
   char line[256];
-  uint64_t value = 0;
+  std::optional<uint64_t> value;
   const size_t key_len = std::strlen(key);
   while (std::fgets(line, sizeof(line), f) != nullptr) {
-    if (std::strncmp(line, key, key_len) == 0) {
-      std::sscanf(line + key_len, ": %llu", reinterpret_cast<unsigned long long*>(&value));
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      unsigned long long parsed = 0;
+      if (std::sscanf(line + key_len + 1, " %llu", &parsed) == 1) {
+        value = parsed;
+      }
       break;
     }
   }
@@ -31,10 +45,51 @@ uint64_t ReadStatusKb(const char* key) {
   return value;
 }
 
+// One warning per process, not one per call: the harness polls RSS in
+// loops and a hardened container would otherwise flood stderr.
+void WarnRssUnavailableOnce() {
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "rpmis: /proc/self/status is unreadable or lacks VmHWM/VmRSS; "
+                 "RSS figures degrade to 0 (records mark them absent)\n");
+  }
+}
+
+double TimevalSeconds(const timeval& tv) {
+  return static_cast<double>(tv.tv_sec) + static_cast<double>(tv.tv_usec) * 1e-6;
+}
+
+// Fills the rusage-derived fields of `report` as deltas from `before`.
+void FillRusageDelta(const rusage& before, ChildMeasurement* report) {
+  rusage after{};
+  getrusage(RUSAGE_SELF, &after);
+  report->utime_seconds =
+      TimevalSeconds(after.ru_utime) - TimevalSeconds(before.ru_utime);
+  report->stime_seconds =
+      TimevalSeconds(after.ru_stime) - TimevalSeconds(before.ru_stime);
+  report->minor_faults =
+      static_cast<uint64_t>(after.ru_minflt - before.ru_minflt);
+  report->major_faults =
+      static_cast<uint64_t>(after.ru_majflt - before.ru_majflt);
+}
+
 }  // namespace
 
-uint64_t PeakRssKb() { return ReadStatusKb("VmHWM"); }
-uint64_t CurrentRssKb() { return ReadStatusKb("VmRSS"); }
+std::optional<uint64_t> TryPeakRssKb() { return TryReadStatusKb("VmHWM"); }
+std::optional<uint64_t> TryCurrentRssKb() { return TryReadStatusKb("VmRSS"); }
+
+uint64_t PeakRssKb() {
+  const auto v = TryPeakRssKb();
+  if (!v.has_value()) WarnRssUnavailableOnce();
+  return v.value_or(0);
+}
+
+uint64_t CurrentRssKb() {
+  const auto v = TryCurrentRssKb();
+  if (!v.has_value()) WarnRssUnavailableOnce();
+  return v.value_or(0);
+}
 
 ChildMeasurement MeasureInChild(const std::function<void(uint64_t[4])>& body) {
   ChildMeasurement out;
@@ -52,7 +107,9 @@ ChildMeasurement MeasureInChild(const std::function<void(uint64_t[4])>& body) {
   // surfaced on success.
   auto measure_in_process = [&]() -> ChildMeasurement {
     ChildMeasurement report;
-    const uint64_t before = PeakRssKb();
+    const std::optional<uint64_t> before = TryPeakRssKb();
+    rusage ru_before{};
+    getrusage(RUSAGE_SELF, &ru_before);
     Timer t;
     try {
       body(report.payload);
@@ -60,7 +117,14 @@ ChildMeasurement MeasureInChild(const std::function<void(uint64_t[4])>& body) {
       return ChildMeasurement{};
     }
     report.seconds = t.Seconds();
-    report.peak_rss_delta_kb = PeakRssKb() - before;
+    FillRusageDelta(ru_before, &report);
+    const std::optional<uint64_t> after = TryPeakRssKb();
+    if (before.has_value() && after.has_value()) {
+      report.rss_available = true;
+      report.peak_rss_delta_kb = *after - *before;
+    } else {
+      WarnRssUnavailableOnce();
+    }
     report.ok = true;
     return report;
   };
@@ -85,11 +149,18 @@ ChildMeasurement MeasureInChild(const std::function<void(uint64_t[4])>& body) {
     // this is one atomic write).
     close(pipe_fd[0]);
     ChildMeasurement report;
-    const uint64_t before = PeakRssKb();
+    const std::optional<uint64_t> before = TryPeakRssKb();
+    rusage ru_before{};
+    getrusage(RUSAGE_SELF, &ru_before);
     Timer t;
     body(report.payload);
     report.seconds = t.Seconds();
-    report.peak_rss_delta_kb = PeakRssKb() - before;
+    FillRusageDelta(ru_before, &report);
+    const std::optional<uint64_t> after = TryPeakRssKb();
+    if (before.has_value() && after.has_value()) {
+      report.rss_available = true;
+      report.peak_rss_delta_kb = *after - *before;
+    }
     report.ok = true;
     const char* src = reinterpret_cast<const char*>(&report);
     size_t left = sizeof(report);
@@ -134,6 +205,7 @@ ChildMeasurement MeasureInChild(const std::function<void(uint64_t[4])>& body) {
   if (got != sizeof(out) || !exited_clean || !out.ok) {
     out = ChildMeasurement{};  // never surface a partially-filled payload
   }
+  if (out.ok && !out.rss_available) WarnRssUnavailableOnce();
   return out;
 }
 

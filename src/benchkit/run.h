@@ -10,30 +10,53 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 
 namespace rpmis {
 
-/// Current process peak resident set size (VmHWM), in KiB.
+/// Current process peak resident set size (VmHWM) in KiB, or nullopt when
+/// /proc/self/status is unreadable or has no parseable VmHWM line (e.g. a
+/// hardened container). The status path can be overridden with the
+/// RPMIS_PROC_STATUS_PATH environment variable (the test hook for the
+/// unavailable path; re-read on every call).
+std::optional<uint64_t> TryPeakRssKb();
+
+/// Current process resident set size (VmRSS) in KiB; nullopt as above.
+std::optional<uint64_t> TryCurrentRssKb();
+
+/// TryPeakRssKb() with a 0 fallback for display-only call sites. The
+/// first failing call logs one warning to stderr; run records must use
+/// the Try* form and mark the field absent instead of recording 0.
 uint64_t PeakRssKb();
 
-/// Current process resident set size (VmRSS), in KiB.
+/// TryCurrentRssKb() with the same 0-fallback/log-once contract.
 uint64_t CurrentRssKb();
 
 struct ChildMeasurement {
   double seconds = 0.0;
   uint64_t peak_rss_delta_kb = 0;  // child VmHWM growth during the run
+  /// True when VmHWM was readable in the child; when false,
+  /// peak_rss_delta_kb is meaningless (record sinks mark it absent).
+  bool rss_available = false;
+  /// Child CPU time and paging activity over the run (getrusage deltas;
+  /// RUSAGE_SELF in the child, so the parent's history never pollutes it).
+  double utime_seconds = 0.0;
+  double stime_seconds = 0.0;
+  uint64_t minor_faults = 0;
+  uint64_t major_faults = 0;
   uint64_t payload[4] = {0, 0, 0, 0};
   bool ok = false;
 };
 
 /// Forks, runs `body` in the child (which may fill `payload`), and
-/// returns wall time + peak-RSS growth attributable to the run. Falls
-/// back to in-process measurement when fork/pipe is unavailable (or when
-/// the RPMIS_MEASURE_IN_PROCESS environment variable is set non-zero —
-/// the test hook for that path). Both paths share one contract: a failed
-/// run — child crash, signal, nonzero exit, or `body` throwing in the
-/// fallback — yields ok = false with a zeroed payload (never partial
-/// data), and any forked child is reaped in every branch.
+/// returns wall time, peak-RSS growth and rusage (CPU time, page faults)
+/// attributable to the run. Falls back to in-process measurement when
+/// fork/pipe is unavailable (or when the RPMIS_MEASURE_IN_PROCESS
+/// environment variable is set non-zero — the test hook for that path).
+/// Both paths share one contract: a failed run — child crash, signal,
+/// nonzero exit, or `body` throwing in the fallback — yields ok = false
+/// with a zeroed payload (never partial data), and any forked child is
+/// reaped in every branch.
 ChildMeasurement MeasureInChild(const std::function<void(uint64_t payload[4])>& body);
 
 /// In-process wall-time measurement.

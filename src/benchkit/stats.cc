@@ -48,4 +48,38 @@ std::string FormatSolverStats(const MisSolution& sol) {
   return out.str();
 }
 
+void PublishSolutionMetrics(const MisSolution& sol,
+                            obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  metrics->Set("solution.size", static_cast<double>(sol.size));
+  metrics->Set("solution.upper_bound", static_cast<double>(sol.UpperBound()));
+  metrics->Set("solution.provably_maximum", sol.provably_maximum ? 1.0 : 0.0);
+  metrics->Set("solution.peeled", static_cast<double>(sol.peeled));
+  metrics->Set("solution.residual_peeled",
+               static_cast<double>(sol.residual_peeled));
+  metrics->Set("kernel.vertices", static_cast<double>(sol.kernel_vertices));
+  metrics->Set("kernel.edges", static_cast<double>(sol.kernel_edges));
+
+  const RuleCounters& r = sol.rules;
+  metrics->Add("rules.degree_zero", r.degree_zero);
+  metrics->Add("rules.degree_one", r.degree_one);
+  metrics->Add("rules.degree_two_isolation", r.degree_two_isolation);
+  metrics->Add("rules.degree_two_folding", r.degree_two_folding);
+  metrics->Add("rules.degree_two_path", r.degree_two_path);
+  metrics->Add("rules.dominance", r.dominance);
+  metrics->Add("rules.one_pass_dominance", r.one_pass_dominance);
+  metrics->Add("rules.lp", r.lp);
+  metrics->Add("rules.twin", r.twin);
+  metrics->Add("rules.unconfined", r.unconfined);
+  metrics->Add("rules.peels", r.peels);
+  metrics->Add("rules.total_exact", r.TotalExact());
+
+  const CompactionStats& c = sol.compaction;
+  metrics->Add("compaction.rebuilds", c.compactions);
+  metrics->Add("compaction.vertices_scanned", c.vertices_scanned);
+  metrics->Add("compaction.slots_scanned", c.slots_scanned);
+  metrics->Add("compaction.vertices_kept", c.vertices_kept);
+  metrics->Add("compaction.slots_kept", c.slots_kept);
+}
+
 }  // namespace rpmis

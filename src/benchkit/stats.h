@@ -5,6 +5,7 @@
 #include <string>
 
 #include "mis/solution.h"
+#include "obs/metrics.h"
 
 namespace rpmis {
 
@@ -13,6 +14,16 @@ namespace rpmis {
 /// counters (events, vertices/edge-slots scanned and kept). Zero-valued
 /// rule counters are omitted so small runs stay readable.
 std::string FormatSolverStats(const MisSolution& sol);
+
+/// Publishes a solution's instrumentation — rule counters, peel/kernel
+/// figures, and the CompactionStats block — into `metrics` under the
+/// dotted-name convention ("rules.degree_one", "compaction.rebuilds",
+/// "solution.size"). This is the registry-side twin of
+/// FormatSolverStats: run records carry the snapshot instead of knowing
+/// the structs' fields. Counters Add (accumulate over repeated runs);
+/// per-solution scalars are gauges (last run wins).
+void PublishSolutionMetrics(const MisSolution& sol,
+                            obs::MetricsRegistry* metrics);
 
 }  // namespace rpmis
 

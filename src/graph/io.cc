@@ -11,6 +11,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "support/mmap_file.h"
 #include "support/parallel.h"
 
@@ -641,6 +643,7 @@ GraphFormat GuessGraphFormat(const std::string& path) {
 std::string GraphCachePath(const std::string& path) { return path + ".rpmi"; }
 
 Graph LoadGraphFile(const std::string& path, const LoadOptions& options) {
+  obs::TraceSpan span(obs::Trace(), "ingest.load_graph");
   namespace fs = std::filesystem;
   const GraphFormat format = options.format == GraphFormat::kAuto
                                  ? GuessGraphFormat(path)

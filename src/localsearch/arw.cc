@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "mis/verify.h"
+#include "obs/obs.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "support/assert.h"
 #include "support/fast_set.h"
 #include "support/random.h"
@@ -202,6 +205,7 @@ class ArwState {
 
 ArwResult RunArw(const Graph& g, std::vector<uint8_t> initial,
                  const ArwOptions& options) {
+  obs::TraceSpan algo_span(obs::Trace(), "arw");
   Timer timer;
   ArwResult result;
   if (g.NumVertices() == 0) {
@@ -215,6 +219,15 @@ ArwResult RunArw(const Graph& g, std::vector<uint8_t> initial,
     result.size = state.Size();
     const double t = timer.Seconds();
     result.history.push_back({t, result.size});
+    if (auto* tr = obs::Trace()) tr->Instant("arw.improve");
+    if (auto* ps = obs::Progress()) {
+      // Every incumbent is a forced sample: the convergence curves need
+      // each improvement, not just the strided ticks.
+      obs::ProgressSample s;
+      s.solution_size = result.size;
+      s.label = "arw";
+      ps->Record(std::move(s));
+    }
     if (options.on_improvement) options.on_improvement(t, result.in_set);
   };
 
@@ -225,6 +238,13 @@ ArwResult RunArw(const Graph& g, std::vector<uint8_t> initial,
   while (timer.Seconds() < options.time_limit_seconds &&
          result.iterations < options.max_iterations) {
     ++result.iterations;
+    if (auto* ps = obs::Progress(); ps != nullptr && ps->Due()) {
+      // Strided tick between improvements (plateau visibility).
+      obs::ProgressSample s;
+      s.solution_size = result.size;
+      s.label = "arw.tick";
+      ps->Record(std::move(s));
+    }
     state.Perturb();
     state.LocalSearch();
     if (state.Size() > result.size) {

@@ -3,23 +3,31 @@
 #include "mis/linear_time.h"
 #include "mis/near_linear.h"
 #include "mis/verify.h"
+#include "obs/obs.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "support/timer.h"
 
 namespace rpmis {
 
 BoostedResult RunBoostedArw(const Graph& g, BoostKind kind,
                             const BoostedOptions& options) {
+  obs::TraceSpan algo_span(
+      obs::Trace(), kind == BoostKind::kLinearTime ? "arw-lt" : "arw-nl");
   Timer timer;
   BoostedResult out;
   KernelSnapshot snap;
-  if (kind == BoostKind::kLinearTime) {
-    LinearTimeOptions lt;
-    lt.compaction = options.compaction;
-    out.base = RunLinearTime(g, &snap, lt);
-  } else {
-    NearLinearOptions nl;
-    nl.compaction = options.compaction;
-    out.base = RunNearLinear(g, &snap, nl);
+  {
+    obs::TraceSpan span(obs::Trace(), "boosted.kernelize");
+    if (kind == BoostKind::kLinearTime) {
+      LinearTimeOptions lt;
+      lt.compaction = options.compaction;
+      out.base = RunLinearTime(g, &snap, lt);
+    } else {
+      NearLinearOptions nl;
+      nl.compaction = options.compaction;
+      out.base = RunNearLinear(g, &snap, nl);
+    }
   }
   RPMIS_ASSERT(snap.captured);
   const Graph& kernel = snap.kernel;
@@ -50,17 +58,31 @@ BoostedResult RunBoostedArw(const Graph& g, BoostKind kind,
     return full;
   };
 
+  // Incumbents carry LIFTED sizes, so the convergence curve (and its
+  // regeneration from progress-sample JSONL) sees the figures the bench
+  // reports, not the kernel-level sizes the inner ARW samples.
+  auto note_incumbent = [&](uint64_t size) {
+    out.history.push_back({timer.Seconds(), size});
+    if (auto* ps = obs::Progress()) {
+      obs::ProgressSample s;
+      s.solution_size = size;
+      s.label = "boosted";
+      ps->Record(std::move(s));
+    }
+  };
+
   ArwOptions arw;
   arw.time_limit_seconds = options.time_limit_seconds;
   arw.seed = options.seed;
   arw.on_improvement = [&](double, const std::vector<uint8_t>& kernel_set) {
+    obs::TraceSpan span(obs::Trace(), "boosted.lift");
     std::vector<uint8_t> full = lift(kernel_set);
     uint64_t size = 0;
     for (uint8_t f : full) size += f;
     if (size > out.size) {
       out.size = size;
       out.in_set = std::move(full);
-      out.history.push_back({timer.Seconds(), size});
+      note_incumbent(size);
     }
   };
   RunArw(kernel, std::move(initial), arw);
@@ -68,7 +90,7 @@ BoostedResult RunBoostedArw(const Graph& g, BoostKind kind,
   if (out.in_set.empty()) {
     out.in_set = out.base.in_set;
     out.size = out.base.size;
-    out.history.push_back({timer.Seconds(), out.size});
+    note_incumbent(out.size);
   }
   RPMIS_ASSERT(IsMaximalIndependentSet(g, out.in_set));
   return out;

@@ -4,6 +4,8 @@
 #include "mis/kernelizer.h"
 #include "mis/solution.h"
 #include "mis/verify.h"
+#include "obs/obs.h"
+#include "obs/progress.h"
 #include "support/timer.h"
 
 namespace rpmis {
@@ -35,6 +37,18 @@ ArwResult RunReduMis(const Graph& g, const ReduMisOptions& options) {
   uint64_t best_kernel_size = 0;
   std::vector<uint8_t> best_kernel_set = seed_solution;
 
+  // Lifted incumbents, forced into the progress stream so the printed
+  // curve can be regenerated from the JSONL samples alone.
+  auto note_incumbent = [&](uint64_t size) {
+    out.history.push_back({timer.Seconds(), size});
+    if (auto* ps = obs::Progress()) {
+      obs::ProgressSample s;
+      s.solution_size = size;
+      s.label = "redumis";
+      ps->Record(std::move(s));
+    }
+  };
+
   const double budget = options.time_limit_seconds;
   uint32_t member = 0;
   while (true) {
@@ -52,7 +66,7 @@ ArwResult RunReduMis(const Graph& g, const ReduMisOptions& options) {
       if (size > out.size || out.history.empty()) {
         out.size = size;
         out.in_set = std::move(lifted);
-        out.history.push_back({timer.Seconds(), out.size});
+        note_incumbent(out.size);
       }
       // Elitist restart: future members start from the incumbent.
       seed_solution = best_kernel_set;
@@ -65,7 +79,7 @@ ArwResult RunReduMis(const Graph& g, const ReduMisOptions& options) {
     auto [size, lifted] = lift_and_score(best_kernel_set);
     out.size = size;
     out.in_set = std::move(lifted);
-    out.history.push_back({timer.Seconds(), out.size});
+    note_incumbent(out.size);
   }
   RPMIS_ASSERT(IsMaximalIndependentSet(g, out.in_set));
   return out;

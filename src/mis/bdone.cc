@@ -5,14 +5,19 @@
 #include "ds/bucket_queue.h"
 #include "mis/compaction.h"
 #include "mis/kernel_capture.h"
+#include "obs/obs.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 
 namespace rpmis {
 
 MisSolution RunBDOne(const Graph& g, KernelSnapshot* capture,
                      const BDOneOptions& options) {
+  obs::TraceSpan algo_span(obs::Trace(), "bdone");
   const Vertex n = g.NumVertices();
   MisSolution sol;
   sol.in_set.assign(n, 0);
+  uint64_t in_count = 0;  // running |I| for progress samples
 
   // Working CSR over the CURRENT vertex universe. Starts as a zero-copy
   // view of the input; after a compaction it views the owned rebuilt copy
@@ -37,6 +42,7 @@ MisSolution RunBDOne(const Graph& g, KernelSnapshot* capture,
     deg[v] = g.Degree(v);
     if (deg[v] == 0) {
       sol.in_set[v] = 1;
+      ++in_count;
       ++sol.rules.degree_zero;
     } else {
       ++active;
@@ -59,6 +65,7 @@ MisSolution RunBDOne(const Graph& g, KernelSnapshot* capture,
         v1.push_back(w);
       } else if (deg[w] == 0) {
         sol.in_set[to_orig[w]] = 1;
+        ++in_count;
         --active;
       }
     }
@@ -69,6 +76,7 @@ MisSolution RunBDOne(const Graph& g, KernelSnapshot* capture,
   // later scan sees the same neighbour sequence as without compaction and
   // the output is byte-identical.
   auto compact = [&]() {
+    obs::TraceSpan span(obs::Trace(), "bdone.compact");
     const Vertex cur_n = static_cast<Vertex>(to_orig.size());
     std::vector<uint8_t> keep(cur_n);
     for (Vertex v = 0; v < cur_n; ++v) keep[v] = alive[v] && deg[v] > 0;
@@ -116,8 +124,29 @@ MisSolution RunBDOne(const Graph& g, KernelSnapshot* capture,
                                   capture);
   };
 
+  // Progress snapshot: O(live) edge recount, amortized by the stride.
+  auto sample_progress = [&](obs::ProgressSampler* ps) {
+    const Vertex cur_n = static_cast<Vertex>(to_orig.size());
+    uint64_t deg_sum = 0;
+    for (Vertex x = 0; x < cur_n; ++x) {
+      if (alive[x]) deg_sum += deg[x];
+    }
+    obs::ProgressSample s;
+    s.live_vertices = active;
+    s.live_edges = deg_sum / 2;
+    s.solution_size = in_count;
+    s.upper_bound = in_count + active + sol.rules.peels;
+    s.label = "bdone.core";
+    ps->Record(std::move(s));
+  };
+
   bool peeled_yet = false;
+  {
+  obs::TraceSpan core_span(obs::Trace(), "bdone.core");
   while (true) {
+    if (auto* ps = obs::Progress(); ps != nullptr && ps->Due()) {
+      sample_progress(ps);
+    }
     if (policy.ShouldCompact(active)) compact();
     if (!v1.empty()) {
       const Vertex u = v1.back();
@@ -143,6 +172,7 @@ MisSolution RunBDOne(const Graph& g, KernelSnapshot* capture,
     if (u == kInvalidVertex) break;
     if (!peeled_yet) {
       peeled_yet = true;
+      if (auto* t = obs::Trace()) t->Instant("bdone.first_peel");
       sol.kernel_vertices = active;
       uint64_t kernel_edges2 = 0;
       const Vertex cur_n = static_cast<Vertex>(to_orig.size());
@@ -156,6 +186,7 @@ MisSolution RunBDOne(const Graph& g, KernelSnapshot* capture,
     ++sol.rules.peels;
     delete_vertex(u);
   }
+  }  // core_span
 
   if (capture != nullptr && !peeled_yet) {
     capture_now();  // empty kernel

@@ -6,6 +6,9 @@
 #include "ds/bucket_queue.h"
 #include "graph/adjacency_graph.h"
 #include "mis/compaction.h"
+#include "obs/obs.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 
 namespace rpmis {
 
@@ -24,9 +27,11 @@ struct FoldRecord {
 }  // namespace
 
 MisSolution RunBDTwo(const Graph& g, const BDTwoOptions& options) {
+  obs::TraceSpan algo_span(obs::Trace(), "bdtwo");
   const Vertex n = g.NumVertices();
   MisSolution sol;
   sol.in_set.assign(n, 0);
+  uint64_t in_count = 0;  // running |I| for progress samples
 
   AdjacencyGraph dyn(g);
   // Current id -> input id (identity until the first compaction). Decisions
@@ -47,6 +52,7 @@ MisSolution RunBDTwo(const Graph& g, const BDTwoOptions& options) {
     const uint32_t d = dyn.Degree(v);
     if (d == 0) {
       sol.in_set[v] = 1;
+      ++in_count;
       ++sol.rules.degree_zero;
       continue;  // already decided; never enters the queue
     }
@@ -68,6 +74,7 @@ MisSolution RunBDTwo(const Graph& g, const BDTwoOptions& options) {
       if (d == 0) {
         queue.Remove(x);
         sol.in_set[to_orig[x]] = 1;
+        ++in_count;
         continue;
       }
       if (queue.KeyOf(x) != d) queue.Update(x, d);
@@ -93,6 +100,7 @@ MisSolution RunBDTwo(const Graph& g, const BDTwoOptions& options) {
   // active count and every queue entry survives the renaming. List and
   // bucket order are preserved, so the run is byte-identical.
   auto compact = [&]() {
+    obs::TraceSpan span(obs::Trace(), "bdtwo.compact");
     const Vertex cur_n = dyn.NumVertices();
     std::vector<uint8_t> keep(cur_n);
     for (Vertex x = 0; x < cur_n; ++x) {
@@ -114,8 +122,27 @@ MisSolution RunBDTwo(const Graph& g, const BDTwoOptions& options) {
     policy.NoteRebuild(new_n);
   };
 
+  // Progress snapshot: O(1) here — the dynamic graph tracks its alive
+  // edge count and the queue its size.
+  auto sample_progress = [&](obs::ProgressSampler* ps) {
+    obs::ProgressSample s;
+    s.live_vertices = queue.Size();
+    s.live_edges = dyn.NumAliveEdges();
+    s.solution_size = in_count;
+    // Crude in-flight bound: live, folded, and peeled-so-far vertices may
+    // yet join I (DESIGN.md §8).
+    s.upper_bound = in_count + queue.Size() + folds.size() + sol.rules.peels;
+    s.label = "bdtwo.core";
+    ps->Record(std::move(s));
+  };
+
   bool peeled_yet = false;
+  {
+  obs::TraceSpan core_span(obs::Trace(), "bdtwo.core");
   while (true) {
+    if (auto* ps = obs::Progress(); ps != nullptr && ps->Due()) {
+      sample_progress(ps);
+    }
     if (policy.ShouldCompact(queue.Size())) compact();
     if (!v1.empty()) {
       const Vertex u = v1.back();
@@ -163,6 +190,7 @@ MisSolution RunBDTwo(const Graph& g, const BDTwoOptions& options) {
     RPMIS_DASSERT(dyn.IsAlive(u) && dyn.Degree(u) >= 3);
     if (!peeled_yet) {
       peeled_yet = true;
+      if (auto* t = obs::Trace()) t->Instant("bdtwo.first_peel");
       for (Vertex x = 0; x < dyn.NumVertices(); ++x) {
         if (dyn.IsAlive(x) && dyn.Degree(x) > 0) ++sol.kernel_vertices;
       }
@@ -173,8 +201,10 @@ MisSolution RunBDTwo(const Graph& g, const BDTwoOptions& options) {
     dyn.RemoveVertex(u, &touched);
     sync_touched();
   }
+  }  // core_span
 
   // Backtrack the contraction operations (Line 6 of Algorithm 3).
+  obs::TraceSpan finalize_span(obs::Trace(), "bdtwo.finalize");
   for (size_t i = folds.size(); i-- > 0;) {
     const FoldRecord& f = folds[i];
     if (sol.in_set[f.rep]) {

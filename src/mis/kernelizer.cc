@@ -5,6 +5,8 @@
 #include <numeric>
 
 #include "mis/lp_reduction.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "support/fast_set.h"
 #include "support/parallel.h"
 
@@ -356,6 +358,7 @@ void Kernelizer::ProcessWorklist() {
 }
 
 void Kernelizer::CompactState() {
+  obs::TraceSpan span(obs::Trace(), "kernelizer.compact");
   const Vertex cur_n = static_cast<Vertex>(alive_.size());
   VertexRenaming ren = BuildRenaming(alive_);
   const Vertex new_n = static_cast<Vertex>(ren.kept.size());
@@ -398,12 +401,22 @@ void Kernelizer::CompactState() {
 void Kernelizer::Run() {
   RPMIS_ASSERT(!ran_);
   ran_ = true;
+  obs::TraceSpan run_span(obs::Trace(), "kernelizer");
   while (true) {
-    ProcessWorklist();
+    {
+      obs::TraceSpan span(obs::Trace(), "kernelizer.worklist");
+      ProcessWorklist();
+    }
     bool changed = false;
-    if (options_.twin) changed = RunTwinPass() || changed;
+    if (options_.twin) {
+      obs::TraceSpan span(obs::Trace(), "kernelizer.twin");
+      changed = RunTwinPass() || changed;
+    }
     ProcessWorklist();
-    if (options_.lp) changed = RunLpPass() || changed;
+    if (options_.lp) {
+      obs::TraceSpan span(obs::Trace(), "kernelizer.lp");
+      changed = RunLpPass() || changed;
+    }
     ProcessWorklist();
     if (!changed) break;
   }

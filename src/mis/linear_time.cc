@@ -6,6 +6,9 @@
 #include "ds/bucket_queue.h"
 #include "mis/compaction.h"
 #include "mis/kernel_capture.h"
+#include "obs/obs.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 
 namespace rpmis {
 
@@ -56,9 +59,11 @@ struct MutableCsr {
 
 MisSolution RunLinearTime(const Graph& g, KernelSnapshot* capture,
                           const LinearTimeOptions& options) {
+  obs::TraceSpan algo_span(obs::Trace(), "lineartime");
   const Vertex n = g.NumVertices();
   MisSolution sol;
   sol.in_set.assign(n, 0);
+  uint64_t in_count = 0;  // running |I| for progress samples
 
   MutableCsr csr(g);
   // Current id -> input id (identity until the first compaction). Decisions
@@ -76,6 +81,7 @@ MisSolution RunLinearTime(const Graph& g, KernelSnapshot* capture,
     deg[v] = g.Degree(v);
     if (deg[v] == 0) {
       sol.in_set[v] = 1;
+      ++in_count;
       ++sol.rules.degree_zero;
     } else {
       ++active;
@@ -129,6 +135,7 @@ MisSolution RunLinearTime(const Graph& g, KernelSnapshot* capture,
         v2.push_back(w);
       } else if (d == 0) {
         sol.in_set[to_orig[w]] = 1;
+        ++in_count;
         --active;
       }
     }
@@ -244,6 +251,7 @@ MisSolution RunLinearTime(const Graph& g, KernelSnapshot* capture,
           v2.push_back(x);
         } else if (d == 0) {
           sol.in_set[to_orig[x]] = 1;
+          ++in_count;
           --active;
         }
       }
@@ -259,6 +267,7 @@ MisSolution RunLinearTime(const Graph& g, KernelSnapshot* capture,
   // later scan sees the same (alive) neighbour sequence as without
   // compaction and the output is byte-identical.
   auto compact = [&]() {
+    obs::TraceSpan span(obs::Trace(), "lineartime.compact");
     const Vertex cur_n = static_cast<Vertex>(to_orig.size());
     std::vector<uint8_t> keep(cur_n);
     for (Vertex x = 0; x < cur_n; ++x) keep[x] = alive[x] && deg[x] > 0;
@@ -300,7 +309,30 @@ MisSolution RunLinearTime(const Graph& g, KernelSnapshot* capture,
                                   capture);
   };
 
+  // Progress snapshot: O(live) edge recount, amortized by the stride.
+  auto sample_progress = [&](obs::ProgressSampler* ps) {
+    const Vertex cur_n = static_cast<Vertex>(to_orig.size());
+    uint64_t deg_sum = 0;
+    for (Vertex x = 0; x < cur_n; ++x) {
+      if (alive[x]) deg_sum += deg[x];
+    }
+    obs::ProgressSample s;
+    s.live_vertices = active;
+    s.live_edges = deg_sum / 2;
+    s.solution_size = in_count;
+    // Crude in-flight bound: everything still live, deferred, or peeled
+    // so far may yet join I (DESIGN.md §8).
+    s.upper_bound = in_count + active + deferred.size() + sol.rules.peels;
+    s.label = "lineartime.core";
+    ps->Record(std::move(s));
+  };
+
+  {
+  obs::TraceSpan core_span(obs::Trace(), "lineartime.core");
   while (true) {
+    if (auto* ps = obs::Progress(); ps != nullptr && ps->Due()) {
+      sample_progress(ps);
+    }
     if (policy.ShouldCompact(active)) compact();
     if (!v1.empty()) {
       const Vertex u = v1.back();
@@ -327,6 +359,7 @@ MisSolution RunLinearTime(const Graph& g, KernelSnapshot* capture,
     if (u == kInvalidVertex) break;
     if (!peeled_yet) {
       peeled_yet = true;
+      if (auto* t = obs::Trace()) t->Instant("lineartime.first_peel");
       sol.kernel_vertices = active;
       const Vertex cur_n = static_cast<Vertex>(to_orig.size());
       for (Vertex x = 0; x < cur_n; ++x) {
@@ -339,10 +372,12 @@ MisSolution RunLinearTime(const Graph& g, KernelSnapshot* capture,
     ++sol.rules.peels;
     delete_vertex(u);
   }
+  }  // core_span
   if (capture != nullptr && !peeled_yet) capture_now();
 
   // Replay the deferred path decisions (LIFO), then the maximality pass
   // that also re-admits compatible peeled vertices (Lines 7-8 of Alg. 4).
+  obs::TraceSpan finalize_span(obs::Trace(), "lineartime.finalize");
   ReplayDeferredStack(deferred, sol.in_set);
   ExtendToMaximal(g, sol.in_set);
   sol.RecountSize();

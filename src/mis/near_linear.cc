@@ -8,6 +8,9 @@
 #include "mis/compaction.h"
 #include "mis/kernel_capture.h"
 #include "mis/lp_reduction.h"
+#include "obs/obs.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "support/parallel.h"
 
 namespace rpmis {
@@ -197,7 +200,7 @@ class NearLinearCore {
     for (Vertex u = 0; u < n_; ++u) {
       if (deg_[u] == 0) {
         sol_->in_set[to_orig_[u]] = 1;  // isolated kernel vertex (defensive;
-                                        // prepasses normally strip these)
+        ++in_count_;                    // prepasses normally strip these)
         continue;
       }
       for (Slot e = Begin(u); e < End(u); ++e) {
@@ -267,6 +270,7 @@ class NearLinearCore {
       v2_.push_back(w);
     } else if (deg_[w] == 0) {
       sol_->in_set[to_orig_[w]] = 1;
+      ++in_count_;
       --active_;
     }
     // Degree-one vertices need no explicit worklist: such a vertex
@@ -308,6 +312,26 @@ class NearLinearCore {
   void ApplyDominance();
   void Compact(LazyMaxBucketQueue& peel_queue);
 
+  // Progress-sample snapshot: O(live) edge recount, amortized by the
+  // sampler stride. `in_count_` tracks vertices this core decided into I;
+  // `in_base_` is what the prepasses had decided before the core started.
+  void SampleProgress(obs::ProgressSampler* ps) {
+    uint64_t deg_sum = 0;
+    for (Vertex v = 0; v < n_; ++v) {
+      if (alive_[v]) deg_sum += deg_[v];
+    }
+    obs::ProgressSample s;
+    s.live_vertices = active_;
+    s.live_edges = deg_sum / 2;
+    s.solution_size = in_base_ + in_count_;
+    // Crude in-flight bound: everything still live, deferred, or peeled
+    // so far may yet join I (DESIGN.md §8).
+    s.upper_bound =
+        s.solution_size + active_ + deferred_.size() + sol_->rules.peels;
+    s.label = "nearlinear.core";
+    ps->Record(std::move(s));
+  }
+
   MisSolution* sol_;
   std::vector<uint8_t>* peeled_orig_;
   Vertex n_;
@@ -325,6 +349,8 @@ class NearLinearCore {
   std::vector<Vertex> scratch_nbrs_;
   FastSet mark_, mark2_;
   Vertex active_ = 0;  // # vertices with alive && deg > 0
+  uint64_t in_base_ = 0;   // |I| decided before the core started
+  uint64_t in_count_ = 0;  // vertices this core added to I
   CompactionPolicy policy_;
 };
 
@@ -482,6 +508,7 @@ void NearLinearCore::DegreeTwoPathReduction(Vertex u) {
 // rewire lookups, a < b edge enumerations) sees the same sequence as
 // without compaction — the run is byte-identical either way.
 void NearLinearCore::Compact(LazyMaxBucketQueue& peel_queue) {
+  obs::TraceSpan span(obs::Trace(), "nearlinear.compact");
   std::vector<uint8_t> keep(n_);
   for (Vertex u = 0; u < n_; ++u) keep[u] = alive_[u] && deg_[u] > 0;
   VertexRenaming ren = BuildRenaming(keep);
@@ -525,6 +552,14 @@ void NearLinearCore::Compact(LazyMaxBucketQueue& peel_queue) {
 }
 
 void NearLinearCore::Run(bool want_capture, KernelSnapshot* capture) {
+  obs::TraceSpan core_span(obs::Trace(), "nearlinear.core");
+  if (obs::Progress() != nullptr) {
+    // Baseline |I| for progress samples: prepass decisions, minus what the
+    // constructor already attributed to this core.
+    uint64_t total = 0;
+    for (uint8_t f : sol_->in_set) total += f;
+    in_base_ = total - in_count_;
+  }
   std::vector<uint32_t> keys(deg_.begin(), deg_.end());
   LazyMaxBucketQueue peel_queue(keys);
   bool peeled_yet = false;
@@ -555,6 +590,9 @@ void NearLinearCore::Run(bool want_capture, KernelSnapshot* capture) {
   };
 
   while (true) {
+    if (auto* ps = obs::Progress(); ps != nullptr && ps->Due()) {
+      SampleProgress(ps);
+    }
     if (policy_.ShouldCompact(active_)) Compact(peel_queue);
     if (!v2_.empty()) {
       const Vertex u = v2_.back();
@@ -573,6 +611,7 @@ void NearLinearCore::Run(bool want_capture, KernelSnapshot* capture) {
     if (u == kInvalidVertex) break;
     if (!peeled_yet) {
       peeled_yet = true;
+      if (auto* t = obs::Trace()) t->Instant("nearlinear.first_peel");
       sol_->kernel_vertices = active_;
       for (Vertex x = 0; x < n_; ++x) {
         if (alive_[x]) sol_->kernel_edges += deg_[x];
@@ -591,6 +630,7 @@ void NearLinearCore::Run(bool want_capture, KernelSnapshot* capture) {
 
 MisSolution RunNearLinear(const Graph& g, KernelSnapshot* capture,
                           const NearLinearOptions& options) {
+  obs::TraceSpan algo_span(obs::Trace(), "nearlinear");
   const Vertex n = g.NumVertices();
   MisSolution sol;
   sol.in_set.assign(n, 0);
@@ -607,6 +647,7 @@ MisSolution RunNearLinear(const Graph& g, KernelSnapshot* capture,
 
   // Prepass 1: one-pass dominance, decreasing degree order (shrinks Δ).
   if (options.one_pass_dominance) {
+    obs::TraceSpan span(obs::Trace(), "nearlinear.prepass.dominance");
     DominanceScratch scratch;
     sol.rules.one_pass_dominance =
         OnePassDominance(g, alive, deg, sol.in_set, scratch);
@@ -614,6 +655,7 @@ MisSolution RunNearLinear(const Graph& g, KernelSnapshot* capture,
 
   // Prepass 2: Nemhauser–Trotter persistency on the surviving subgraph.
   if (options.lp_reduction) {
+    obs::TraceSpan span(obs::Trace(), "nearlinear.prepass.lp");
     std::vector<uint8_t> keep(n);
     for (Vertex v = 0; v < n; ++v) keep[v] = alive[v] && deg[v] > 0;
     const VertexRenaming ren = BuildRenaming(keep);
@@ -637,6 +679,7 @@ MisSolution RunNearLinear(const Graph& g, KernelSnapshot* capture,
   std::vector<Vertex> kernel_to_orig;
   std::vector<Edge> kernel_edges;
   {
+    obs::TraceSpan span(obs::Trace(), "nearlinear.kernel_build");
     // Recompute liveness-aware degrees after the prepasses.
     std::vector<uint8_t> keep(n, 0);
     for (Vertex v = 0; v < n; ++v) {
@@ -665,6 +708,7 @@ MisSolution RunNearLinear(const Graph& g, KernelSnapshot* capture,
 
   // Deferred path decisions are recorded in input ids, so they replay
   // directly against the final membership flags.
+  obs::TraceSpan finalize_span(obs::Trace(), "nearlinear.finalize");
   core.ReplayDeferred();
   ExtendToMaximal(g, sol.in_set);
   sol.RecountSize();

@@ -6,11 +6,17 @@
 #include <vector>
 
 #include "graph/algorithms.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "support/parallel.h"
 
 namespace rpmis {
 
 namespace {
+
+// Span threshold: tracing every component of a shattered graph would
+// bury the timeline in micro-spans; only substantial solves get one.
+constexpr size_t kTraceComponentMinVertices = 1024;
 
 // Scatters a component solution into the merged one. Local ids are slice
 // positions (ComponentExtractor's contract), so part.in_set[i] belongs to
@@ -34,6 +40,11 @@ MisSolution RunPerComponent(
   merged.provably_maximum = true;
 
   for (Vertex c = 0; c < extractor.NumComponents(); ++c) {
+    obs::TraceSpan span(
+        extractor.Members(c).size() >= kTraceComponentMinVertices
+            ? obs::Trace()
+            : nullptr,
+        "component.solve");
     const MisSolution part = algo(extractor.Extract(c));
     MergePart(part, extractor.Members(c), &merged);
   }
@@ -73,6 +84,11 @@ MisSolution RunPerComponentParallel(
   RunParallel(num_components, [&](size_t i) {
     const Vertex c = order[i];
     try {
+      obs::TraceSpan span(
+          extractor.Members(c).size() >= kTraceComponentMinVertices
+              ? obs::Trace()
+              : nullptr,
+          "component.solve");
       parts[c] = algo(extractor.Extract(c));
     } catch (...) {
       errors[c] = std::current_exception();

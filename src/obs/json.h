@@ -1,0 +1,58 @@
+// Minimal JSON plumbing for the observability layer: a streaming writer
+// (trace files, JSONL run records) and a recursive-descent parser (the
+// trace/record validators and the benches that re-read their own JSONL).
+//
+// The parser favours smallness over speed — it backs validators and
+// tests, never a solver hot path. It accepts exactly RFC 8259 JSON with
+// two deliberate limits: numbers are held as double, and input nesting is
+// capped to keep recursion bounded on hostile files.
+#ifndef RPMIS_OBS_JSON_H_
+#define RPMIS_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rpmis::obs {
+
+/// Appends `s` as a JSON string literal (with quotes) to `out`, escaping
+/// quotes, backslashes, and control characters.
+void AppendJsonString(std::string_view s, std::string* out);
+
+/// Formats a double the way JSON expects (no inf/nan — those are clamped
+/// to 0 with no diagnostic, callers should not produce them; integers in
+/// the uint53 range print without a decimal point).
+void AppendJsonNumber(double value, std::string* out);
+
+/// A parsed JSON value. Objects keep key order in `object_keys` so
+/// validators can report positions deterministically.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+  std::vector<std::string> object_keys;  // insertion order
+
+  bool IsObject() const { return kind == Kind::kObject; }
+  bool IsArray() const { return kind == Kind::kArray; }
+  bool IsString() const { return kind == Kind::kString; }
+  bool IsNumber() const { return kind == Kind::kNumber; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+/// Parses `text` as one JSON document. Returns true on success; on
+/// failure, `error` (if non-null) describes the first problem with a byte
+/// offset. Trailing whitespace is allowed, trailing garbage is not.
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error);
+
+}  // namespace rpmis::obs
+
+#endif  // RPMIS_OBS_JSON_H_

@@ -1,0 +1,36 @@
+#include "obs/obs.h"
+
+namespace rpmis::obs {
+
+namespace internal {
+std::atomic<TraceSink*> g_trace{nullptr};
+std::atomic<MetricsRegistry*> g_metrics{nullptr};
+std::atomic<ProgressSampler*> g_progress{nullptr};
+}  // namespace internal
+
+ScopedObservability::ScopedObservability(TraceSink* trace,
+                                         MetricsRegistry* metrics,
+                                         ProgressSampler* progress)
+    : prev_trace_(internal::g_trace.load(std::memory_order_relaxed)),
+      prev_metrics_(internal::g_metrics.load(std::memory_order_relaxed)),
+      prev_progress_(internal::g_progress.load(std::memory_order_relaxed)) {
+#ifdef RPMIS_NO_OBS
+  (void)trace;
+  (void)metrics;
+  (void)progress;
+#else
+  internal::g_trace.store(trace, std::memory_order_relaxed);
+  internal::g_metrics.store(metrics, std::memory_order_relaxed);
+  internal::g_progress.store(progress, std::memory_order_relaxed);
+#endif
+}
+
+ScopedObservability::~ScopedObservability() {
+#ifndef RPMIS_NO_OBS
+  internal::g_trace.store(prev_trace_, std::memory_order_relaxed);
+  internal::g_metrics.store(prev_metrics_, std::memory_order_relaxed);
+  internal::g_progress.store(prev_progress_, std::memory_order_relaxed);
+#endif
+}
+
+}  // namespace rpmis::obs

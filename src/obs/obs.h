@@ -1,0 +1,86 @@
+// Observability context: the single switchboard every solver hook reads.
+//
+// The library is silent by default. A harness (bench binary, mis_cli, a
+// test) constructs sinks — a TraceSink, a MetricsRegistry, a
+// ProgressSampler — and installs them with ScopedObservability; solver
+// code consults the accessors below. The contract that keeps the solvers
+// honest:
+//
+//   * Disabled cost is ONE relaxed atomic load + branch per hook
+//     (`if (auto* t = obs::Trace()) ...`). No allocation, no locking, no
+//     state the solver must maintain for observability's sake.
+//   * Sinks only OBSERVE. No hook may influence solver control flow, so
+//     solutions are byte-identical with observability on or off (enforced
+//     by tests/obs_test.cc for all four algorithms).
+//   * Compiling with RPMIS_NO_OBS pins every accessor to nullptr, letting
+//     the optimizer delete the hooks entirely (the belt-and-braces bound
+//     for the disabled path; see DESIGN.md §8 for the overhead model).
+//
+// Installation is scoped and nestable: a bench installs one context per
+// measured run, and the previous context is restored on scope exit. The
+// pointers are process-global. Install/uninstall from one thread while no
+// solver runs; worker threads spawned inside a run see the installed
+// sinks (the sinks themselves are thread-safe).
+#ifndef RPMIS_OBS_OBS_H_
+#define RPMIS_OBS_OBS_H_
+
+#include <atomic>
+
+namespace rpmis::obs {
+
+class TraceSink;
+class MetricsRegistry;
+class ProgressSampler;
+
+namespace internal {
+extern std::atomic<TraceSink*> g_trace;
+extern std::atomic<MetricsRegistry*> g_metrics;
+extern std::atomic<ProgressSampler*> g_progress;
+}  // namespace internal
+
+#ifdef RPMIS_NO_OBS
+
+inline TraceSink* Trace() { return nullptr; }
+inline MetricsRegistry* Metrics() { return nullptr; }
+inline ProgressSampler* Progress() { return nullptr; }
+
+#else
+
+/// Active trace sink, or nullptr when tracing is off.
+inline TraceSink* Trace() {
+  return internal::g_trace.load(std::memory_order_relaxed);
+}
+
+/// Active metrics registry, or nullptr when metrics are off.
+inline MetricsRegistry* Metrics() {
+  return internal::g_metrics.load(std::memory_order_relaxed);
+}
+
+/// Active progress sampler, or nullptr when sampling is off.
+inline ProgressSampler* Progress() {
+  return internal::g_progress.load(std::memory_order_relaxed);
+}
+
+#endif  // RPMIS_NO_OBS
+
+/// Installs sinks for the current scope and restores the previous ones on
+/// destruction. Null members leave that channel disabled. Under
+/// RPMIS_NO_OBS installation is a no-op (the accessors stay null).
+class ScopedObservability {
+ public:
+  ScopedObservability(TraceSink* trace, MetricsRegistry* metrics,
+                      ProgressSampler* progress);
+  ~ScopedObservability();
+
+  ScopedObservability(const ScopedObservability&) = delete;
+  ScopedObservability& operator=(const ScopedObservability&) = delete;
+
+ private:
+  TraceSink* prev_trace_;
+  MetricsRegistry* prev_metrics_;
+  ProgressSampler* prev_progress_;
+};
+
+}  // namespace rpmis::obs
+
+#endif  // RPMIS_OBS_OBS_H_

@@ -1,0 +1,33 @@
+#include "obs/progress.h"
+
+#include <algorithm>
+
+namespace rpmis::obs {
+
+ProgressSampler::ProgressSampler(uint64_t every, size_t max_samples)
+    : every_(std::max<uint64_t>(1, every)), max_samples_(max_samples) {}
+
+void ProgressSampler::Record(ProgressSample sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Stamp under the lock so the recorded series is time-ordered even when
+  // several worker threads record concurrently.
+  if (sample.seconds == 0.0) sample.seconds = Elapsed();
+  if (sample.events == 0) sample.events = Events();
+  if (samples_.size() >= max_samples_) {
+    ++dropped_;
+    return;
+  }
+  samples_.push_back(sample);
+}
+
+uint64_t ProgressSampler::DroppedSamples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::vector<ProgressSample> ProgressSampler::Samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+}  // namespace rpmis::obs

@@ -1,0 +1,79 @@
+// Progress sampler: a time series of solver state, recorded every K
+// solver events plus at forced moments (new local-search incumbents).
+//
+// This is the one stream behind the Fig 10/15 convergence curves and any
+// future local-search trajectory analysis: a solver calls Due() once per
+// event (a reduction application, a peel, an ARW iteration) and, when it
+// fires, records (wall seconds, live vertices, live edges, current
+// solution size, current upper bound). Computing the snapshot may cost
+// O(live) — that is why sampling is strided; the stride amortizes it to
+// O(total work / K) extra.
+//
+// Hot-path contract: Due() is one relaxed fetch_add and a compare; the
+// disabled path never reaches it (obs::Progress() is null).
+#ifndef RPMIS_OBS_PROGRESS_H_
+#define RPMIS_OBS_PROGRESS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/timer.h"
+
+namespace rpmis::obs {
+
+inline constexpr uint64_t kProgressFieldAbsent = ~0ULL;
+
+/// One sample. Fields a solver cannot (cheaply) provide are left at
+/// kProgressFieldAbsent and serialized as absent.
+struct ProgressSample {
+  double seconds = 0.0;     // since sampler construction
+  uint64_t events = 0;      // solver events seen when the sample was taken
+  uint64_t live_vertices = kProgressFieldAbsent;
+  uint64_t live_edges = kProgressFieldAbsent;
+  uint64_t solution_size = kProgressFieldAbsent;
+  uint64_t upper_bound = kProgressFieldAbsent;
+  std::string label;        // which solver/phase recorded it
+};
+
+class ProgressSampler {
+ public:
+  /// Records every `every`-th event (clamped to >= 1); `max_samples` caps
+  /// the buffer (further records are dropped and counted).
+  explicit ProgressSampler(uint64_t every = 8192,
+                           size_t max_samples = 1'000'000);
+
+  /// Counts one solver event; true when a strided sample is due.
+  bool Due() {
+    const uint64_t n = events_.fetch_add(1, std::memory_order_relaxed) + 1;
+    return n % every_ == 0;
+  }
+
+  /// Seconds since construction (solvers stamp samples with this clock so
+  /// every sample in a run shares one epoch).
+  double Elapsed() const { return timer_.Seconds(); }
+
+  uint64_t Events() const { return events_.load(std::memory_order_relaxed); }
+
+  /// Appends a sample (thread-safe). `sample.seconds`/`events` of 0 are
+  /// filled in from the sampler's own clock and event count.
+  void Record(ProgressSample sample);
+
+  uint64_t DroppedSamples() const;
+  std::vector<ProgressSample> Samples() const;
+
+ private:
+  const uint64_t every_;
+  const size_t max_samples_;
+  Timer timer_;
+  std::atomic<uint64_t> events_{0};
+  mutable std::mutex mu_;
+  std::vector<ProgressSample> samples_;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace rpmis::obs
+
+#endif  // RPMIS_OBS_PROGRESS_H_

@@ -1,0 +1,119 @@
+#include "obs/resource.h"
+
+#include <sys/resource.h>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+#include "benchkit/run.h"
+
+namespace rpmis::obs {
+
+namespace {
+
+double TimevalSeconds(const timeval& tv) {
+  return static_cast<double>(tv.tv_sec) + static_cast<double>(tv.tv_usec) * 1e-6;
+}
+
+#if defined(__linux__)
+int OpenPerfCounter(uint64_t config) {
+  perf_event_attr attr{};
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.inherit = 1;  // count worker threads spawned inside the run too
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, /*group_fd=*/-1, /*flags=*/0));
+}
+#endif
+
+}  // namespace
+
+ResourceProbe::ResourceProbe() {
+  for (int i = 0; i < kNumPerfEvents; ++i) perf_fd_[i] = -1;
+#if defined(__linux__)
+  // All three or none: a partial set would invite cross-run comparisons of
+  // incommensurate counters.
+  static constexpr uint64_t kConfigs[kNumPerfEvents] = {
+      PERF_COUNT_HW_CPU_CYCLES, PERF_COUNT_HW_INSTRUCTIONS,
+      PERF_COUNT_HW_CACHE_MISSES};
+  bool all_ok = true;
+  for (int i = 0; i < kNumPerfEvents; ++i) {
+    perf_fd_[i] = OpenPerfCounter(kConfigs[i]);
+    if (perf_fd_[i] < 0) all_ok = false;
+  }
+  if (!all_ok) {
+    for (int i = 0; i < kNumPerfEvents; ++i) {
+      if (perf_fd_[i] >= 0) close(perf_fd_[i]);
+      perf_fd_[i] = -1;
+    }
+  }
+#endif
+}
+
+ResourceProbe::~ResourceProbe() {
+#if defined(__linux__)
+  for (int i = 0; i < kNumPerfEvents; ++i) {
+    if (perf_fd_[i] >= 0) close(perf_fd_[i]);
+  }
+#endif
+}
+
+bool ResourceProbe::PerfAvailable() const { return perf_fd_[0] >= 0; }
+
+void ResourceProbe::Start() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  start_utime_ = TimevalSeconds(ru.ru_utime);
+  start_stime_ = TimevalSeconds(ru.ru_stime);
+  start_minor_ = static_cast<uint64_t>(ru.ru_minflt);
+  start_major_ = static_cast<uint64_t>(ru.ru_majflt);
+#if defined(__linux__)
+  for (int i = 0; i < kNumPerfEvents; ++i) {
+    if (perf_fd_[i] < 0) continue;
+    ioctl(perf_fd_[i], PERF_EVENT_IOC_RESET, 0);
+    ioctl(perf_fd_[i], PERF_EVENT_IOC_ENABLE, 0);
+  }
+#endif
+}
+
+ResourceUsage ResourceProbe::Stop() {
+  ResourceUsage out;
+#if defined(__linux__)
+  uint64_t values[kNumPerfEvents] = {0, 0, 0};
+  bool read_ok = PerfAvailable();
+  for (int i = 0; i < kNumPerfEvents && read_ok; ++i) {
+    ioctl(perf_fd_[i], PERF_EVENT_IOC_DISABLE, 0);
+    if (read(perf_fd_[i], &values[i], sizeof(values[i])) !=
+        static_cast<ssize_t>(sizeof(values[i]))) {
+      read_ok = false;
+    }
+  }
+  if (read_ok) {
+    out.perf_available = true;
+    out.cycles = values[0];
+    out.instructions = values[1];
+    out.llc_misses = values[2];
+  }
+#endif
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  out.utime_seconds = TimevalSeconds(ru.ru_utime) - start_utime_;
+  out.stime_seconds = TimevalSeconds(ru.ru_stime) - start_stime_;
+  out.minor_faults = static_cast<uint64_t>(ru.ru_minflt) - start_minor_;
+  out.major_faults = static_cast<uint64_t>(ru.ru_majflt) - start_major_;
+  if (const auto hwm = TryPeakRssKb()) {
+    out.vm_hwm_available = true;
+    out.vm_hwm_kb = *hwm;
+  }
+  return out;
+}
+
+}  // namespace rpmis::obs

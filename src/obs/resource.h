@@ -1,0 +1,67 @@
+// Resource probe: per-run CPU/memory/hardware-counter usage.
+//
+// Sources, in decreasing availability:
+//   * getrusage(RUSAGE_SELF): utime/stime, minor/major page faults —
+//     always present on Linux.
+//   * /proc/self/status VmHWM: peak RSS. May be unreadable (hardened
+//     containers); then `vm_hwm_kb` is marked absent, never silently 0.
+//   * perf_event_open cycles / instructions / LLC misses: requires
+//     kernel.perf_event_paranoid to permit self-profiling; gracefully
+//     absent otherwise (`perf_available` = false), with no diagnostics on
+//     the solver path.
+//
+// Usage: construct (opens perf fds), Start() at the measured region's
+// beginning, Stop() at its end; Stop() returns deltas.
+#ifndef RPMIS_OBS_RESOURCE_H_
+#define RPMIS_OBS_RESOURCE_H_
+
+#include <cstdint>
+
+namespace rpmis::obs {
+
+struct ResourceUsage {
+  double utime_seconds = 0.0;
+  double stime_seconds = 0.0;
+  uint64_t minor_faults = 0;
+  uint64_t major_faults = 0;
+
+  bool vm_hwm_available = false;
+  uint64_t vm_hwm_kb = 0;  // peak RSS at Stop() (absolute, not a delta)
+
+  bool perf_available = false;
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t llc_misses = 0;
+};
+
+class ResourceProbe {
+ public:
+  ResourceProbe();
+  ~ResourceProbe();
+
+  ResourceProbe(const ResourceProbe&) = delete;
+  ResourceProbe& operator=(const ResourceProbe&) = delete;
+
+  /// True when the hardware counters opened (perf fields will be real).
+  bool PerfAvailable() const;
+
+  /// (Re)arms the probe: snapshots rusage and resets/starts counters.
+  void Start();
+
+  /// Deltas since the last Start(). VmHWM is absolute (peaks don't
+  /// subtract meaningfully across runs in one process).
+  ResourceUsage Stop();
+
+ private:
+  static constexpr int kNumPerfEvents = 3;
+  int perf_fd_[kNumPerfEvents];
+
+  double start_utime_ = 0.0;
+  double start_stime_ = 0.0;
+  uint64_t start_minor_ = 0;
+  uint64_t start_major_ = 0;
+};
+
+}  // namespace rpmis::obs
+
+#endif  // RPMIS_OBS_RESOURCE_H_

@@ -1,0 +1,103 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace rpmis::obs {
+
+namespace {
+
+// Small dense thread ids: the first thread to trace gets 0, the next 1, …
+// Stable for the lifetime of the process, which keeps B/E pairs on one id
+// (the "thread-consistent ids" the validator checks).
+uint32_t CurrentTid() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
+TraceSink::TraceSink(size_t max_events)
+    : max_events_(max_events), epoch_(std::chrono::steady_clock::now()) {
+  events_.reserve(1024);
+}
+
+void TraceSink::Push(const char* name, char ph) {
+  const uint64_t ts = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+  const uint32_t tid = CurrentTid();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(Event{name, ts, tid, ph});
+}
+
+void TraceSink::Begin(const char* name) { Push(name, 'B'); }
+
+void TraceSink::End() { Push(nullptr, 'E'); }
+
+void TraceSink::Instant(const char* name) { Push(name, 'i'); }
+
+size_t TraceSink::NumEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+uint64_t TraceSink::DroppedEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string TraceSink::ToJson() const {
+  std::vector<Event> events;
+  uint64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events = events_;
+    dropped = dropped_;
+  }
+  std::string out;
+  out.reserve(64 + events.size() * 64);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"ph\":\"";
+    out.push_back(e.ph);
+    out += "\"";
+    if (e.name != nullptr) {
+      out += ",\"name\":";
+      AppendJsonString(e.name, &out);
+    }
+    if (e.ph == 'i') out += ",\"s\":\"t\"";
+    out += ",\"cat\":\"rpmis\",\"pid\":1,\"tid\":";
+    AppendJsonNumber(static_cast<double>(e.tid), &out);
+    out += ",\"ts\":";
+    AppendJsonNumber(static_cast<double>(e.ts_us), &out);
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"droppedEvents\":";
+  AppendJsonNumber(static_cast<double>(dropped), &out);
+  out += "}";
+  return out;
+}
+
+bool TraceSink::WriteFile(const std::string& path) const {
+  const std::string json = ToJson();
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = written == json.size() && std::fclose(f) == 0;
+  if (written != json.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace rpmis::obs

@@ -1,0 +1,148 @@
+#include "obs/validate.h"
+
+#include <map>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace rpmis::obs {
+
+namespace {
+
+ValidationResult Fail(std::string error) {
+  ValidationResult r;
+  r.ok = false;
+  r.error = std::move(error);
+  return r;
+}
+
+}  // namespace
+
+ValidationResult ValidateTraceJson(std::string_view json) {
+  JsonValue doc;
+  std::string err;
+  if (!ParseJson(json, &doc, &err)) return Fail("invalid JSON: " + err);
+  if (!doc.IsObject()) return Fail("top level is not an object");
+  const JsonValue* events = doc.Find("traceEvents");
+  if (events == nullptr || !events->IsArray()) {
+    return Fail("missing traceEvents array");
+  }
+
+  // Per-tid open-span depth and last timestamp.
+  std::map<int64_t, int64_t> depth;
+  std::map<int64_t, double> last_ts;
+  for (size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& e = events->array[i];
+    const std::string at = " (event " + std::to_string(i) + ")";
+    if (!e.IsObject()) return Fail("event is not an object" + at);
+    const JsonValue* ph = e.Find("ph");
+    if (ph == nullptr || !ph->IsString() || ph->string_value.size() != 1) {
+      return Fail("missing/malformed ph" + at);
+    }
+    const char kind = ph->string_value[0];
+    if (kind != 'B' && kind != 'E' && kind != 'i' && kind != 'X' &&
+        kind != 'M' && kind != 'C') {
+      return Fail(std::string("unsupported ph '") + kind + "'" + at);
+    }
+    const JsonValue* tid = e.Find("tid");
+    const JsonValue* pid = e.Find("pid");
+    const JsonValue* ts = e.Find("ts");
+    if (tid == nullptr || !tid->IsNumber()) return Fail("missing tid" + at);
+    if (pid == nullptr || !pid->IsNumber()) return Fail("missing pid" + at);
+    if (ts == nullptr || !ts->IsNumber()) return Fail("missing ts" + at);
+    if (ts->number_value < 0) return Fail("negative ts" + at);
+    if (kind == 'B' || kind == 'i') {
+      const JsonValue* name = e.Find("name");
+      if (name == nullptr || !name->IsString() || name->string_value.empty()) {
+        return Fail(std::string("ph ") + kind + " without a name" + at);
+      }
+    }
+    const int64_t t = static_cast<int64_t>(tid->number_value);
+    const auto it = last_ts.find(t);
+    if (it != last_ts.end() && ts->number_value < it->second) {
+      return Fail("timestamps not monotone on tid " + std::to_string(t) + at);
+    }
+    last_ts[t] = ts->number_value;
+    if (kind == 'B') {
+      ++depth[t];
+    } else if (kind == 'E') {
+      if (--depth[t] < 0) {
+        return Fail("E without matching B on tid " + std::to_string(t) + at);
+      }
+    }
+  }
+  for (const auto& [t, d] : depth) {
+    if (d != 0) {
+      return Fail("unbalanced spans on tid " + std::to_string(t) + ": " +
+                  std::to_string(d) + " left open");
+    }
+  }
+
+  ValidationResult r;
+  r.ok = true;
+  r.num_events = events->array.size();
+  return r;
+}
+
+ValidationResult ValidateRunRecords(std::string_view jsonl) {
+  size_t line_no = 0;
+  size_t records = 0;
+  size_t pos = 0;
+  while (pos <= jsonl.size()) {
+    const size_t nl = jsonl.find('\n', pos);
+    const std::string_view line =
+        jsonl.substr(pos, nl == std::string_view::npos ? nl : nl - pos);
+    pos = nl == std::string_view::npos ? jsonl.size() + 1 : nl + 1;
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+
+    const std::string at = " (line " + std::to_string(line_no) + ")";
+    JsonValue doc;
+    std::string err;
+    if (!ParseJson(line, &doc, &err)) {
+      return Fail("invalid JSON: " + err + at);
+    }
+    if (!doc.IsObject()) return Fail("record is not an object" + at);
+    const JsonValue* schema = doc.Find("schema");
+    if (schema == nullptr || !schema->IsString() ||
+        schema->string_value.rfind("rpmis.run", 0) != 0) {
+      return Fail("missing/foreign schema field" + at);
+    }
+    for (const char* key : {"bench", "algorithm", "build_flags"}) {
+      const JsonValue* v = doc.Find(key);
+      if (v == nullptr || !v->IsString() || v->string_value.empty()) {
+        return Fail(std::string("missing ") + key + at);
+      }
+    }
+    const JsonValue* seed = doc.Find("seed");
+    if (seed == nullptr || !seed->IsNumber()) return Fail("missing seed" + at);
+    const JsonValue* threads = doc.Find("threads");
+    if (threads == nullptr || !threads->IsNumber() ||
+        threads->number_value < 1) {
+      return Fail("missing/invalid threads" + at);
+    }
+    const JsonValue* samples = doc.Find("samples");
+    if (samples != nullptr) {
+      if (!samples->IsArray()) return Fail("samples is not an array" + at);
+      double prev = -1.0;
+      for (const JsonValue& s : samples->array) {
+        const JsonValue* sec = s.Find("seconds");
+        if (!s.IsObject() || sec == nullptr || !sec->IsNumber()) {
+          return Fail("malformed progress sample" + at);
+        }
+        if (sec->number_value < prev) {
+          return Fail("progress samples not time-ordered" + at);
+        }
+        prev = sec->number_value;
+      }
+    }
+    ++records;
+  }
+  if (records == 0) return Fail("no records found");
+  ValidationResult r;
+  r.ok = true;
+  r.num_events = records;
+  return r;
+}
+
+}  // namespace rpmis::obs

@@ -1,0 +1,34 @@
+// Validators for the observability output formats, shared by the
+// obs_validate CLI (scripts/check_obs.sh) and the unit tests — so "the
+// trace is well-formed" means the same thing in CI and in a test.
+#ifndef RPMIS_OBS_VALIDATE_H_
+#define RPMIS_OBS_VALIDATE_H_
+
+#include <string>
+#include <string_view>
+
+namespace rpmis::obs {
+
+struct ValidationResult {
+  bool ok = false;
+  std::string error;      // first problem found, empty when ok
+  size_t num_events = 0;  // trace: events; records: lines
+};
+
+/// Validates a Chrome trace-event document:
+///   * parses as one JSON object with a "traceEvents" array;
+///   * every event has ph/pid/tid/ts; B and i events carry a non-empty
+///     name;
+///   * per-tid timestamps are non-decreasing in buffer order;
+///   * per-tid B/E spans balance (every E closes a B on the same thread,
+///     nothing left open at the end).
+ValidationResult ValidateTraceJson(std::string_view json);
+
+/// Validates a JSONL run-record stream: every non-blank line is a JSON
+/// object carrying the self-description contract — schema, bench,
+/// algorithm, seed, threads, and build flags.
+ValidationResult ValidateRunRecords(std::string_view jsonl);
+
+}  // namespace rpmis::obs
+
+#endif  // RPMIS_OBS_VALIDATE_H_

@@ -94,6 +94,51 @@ TEST(RunTest, MeasureInChildReturnsPayload) {
   EXPECT_GT(m.peak_rss_delta_kb, 1000u);
 }
 
+TEST(RunTest, MeasureInChildReturnsChildRusage) {
+  // The child's own CPU and fault accounting rides back on the pipe so
+  // run records can attribute resources to the measured process, not the
+  // parent harness.
+  ChildMeasurement m = MeasureInChild([](uint64_t payload[4]) {
+    // Enough work to register on the 4ms-granularity rusage clocks, and a
+    // fresh allocation so the child takes minor faults of its own.
+    std::vector<uint64_t> big(1 << 21, 1);
+    uint64_t sink = 0;
+    for (uint64_t i = 0; i < 80'000'000; ++i) sink += i ^ big[i % big.size()];
+    payload[0] = sink != 0 ? 1 : 2;
+  });
+  ASSERT_TRUE(m.ok);
+  EXPECT_GT(m.utime_seconds + m.stime_seconds, 0.0);
+  EXPECT_GT(m.minor_faults, 0u);
+  EXPECT_TRUE(m.rss_available);
+}
+
+TEST(RunTest, MeasureInChildZeroesRusageOnFailure) {
+  ChildMeasurement m = MeasureInChild([](uint64_t payload[4]) {
+    payload[0] = 1;
+    _exit(9);
+  });
+  EXPECT_FALSE(m.ok);
+  EXPECT_EQ(m.utime_seconds, 0.0);
+  EXPECT_EQ(m.stime_seconds, 0.0);
+  EXPECT_EQ(m.minor_faults, 0u);
+  EXPECT_EQ(m.major_faults, 0u);
+}
+
+TEST(RunTest, RssReadersReportUnavailability) {
+  // Hardened containers can make /proc/self/status unreadable; the Try
+  // readers must say so explicitly instead of returning a silent 0.
+  setenv("RPMIS_PROC_STATUS_PATH", "/nonexistent/status", 1);
+  EXPECT_FALSE(TryPeakRssKb().has_value());
+  EXPECT_FALSE(TryCurrentRssKb().has_value());
+  // The logging fallbacks degrade to 0, never garbage.
+  EXPECT_EQ(PeakRssKb(), 0u);
+  EXPECT_EQ(CurrentRssKb(), 0u);
+  unsetenv("RPMIS_PROC_STATUS_PATH");
+  ASSERT_TRUE(TryPeakRssKb().has_value());
+  EXPECT_GT(*TryPeakRssKb(), 0u);
+  ASSERT_TRUE(TryCurrentRssKb().has_value());
+}
+
 TEST(RunTest, MeasureInChildReportsNonzeroExit) {
   // Regression: a child that dies after filling the payload must yield
   // ok = false with a zeroed payload, never partial data.

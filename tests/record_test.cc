@@ -1,0 +1,153 @@
+// JSONL run-record tests: the serialize/validate/read-back triangle the
+// convergence-from-JSONL recipe (EXPERIMENTS.md) depends on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchkit/record.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/resource.h"
+#include "obs/validate.h"
+
+namespace rpmis {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const char* name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+RunRecord SampleRecord() {
+  RunRecord r = MakeRunRecord("record_test", "nearlinear", "toy", 42);
+  r.args = {"--fast", "--trace=t.json"};
+  r.AddNumber("time.wall_seconds", 0.125);
+  r.AddNumber("solution.size", 17.0);
+  r.AddString("config", "unit-test");
+
+  obs::MetricsRegistry metrics;
+  metrics.Add("rules.degree_one", 3);
+  metrics.Set("solution.size", 17.0);
+  r.metrics = metrics.Snapshot();
+
+  obs::ProgressSample s1;
+  s1.seconds = 0.01;
+  s1.events = 100;
+  s1.live_vertices = 50;
+  s1.solution_size = 5;
+  s1.label = "nearlinear.core";
+  obs::ProgressSample s2;  // most fields absent: must round-trip as absent
+  s2.seconds = 0.02;
+  s2.events = 200;
+  s2.solution_size = 9;
+  s2.label = "arw";
+  r.samples = {s1, s2};
+
+  obs::ResourceUsage res;
+  res.utime_seconds = 0.1;
+  res.minor_faults = 12;
+  res.vm_hwm_available = true;
+  res.vm_hwm_kb = 4096;
+  r.resource = res;
+  return r;
+}
+
+TEST(RecordTest, EnvelopeIsSelfDescribing) {
+  const RunRecord r = MakeRunRecord("record_test", "bdone", "d", 7);
+  EXPECT_EQ(r.bench, "record_test");
+  EXPECT_EQ(r.algorithm, "bdone");
+  EXPECT_EQ(r.seed, 7u);
+  EXPECT_GE(r.threads, 1u);
+  EXPECT_NE(BuildFlagsString(), nullptr);
+  EXPECT_STRNE(BuildFlagsString(), "");
+  // The compiled-in flags ride along in serialized form.
+  EXPECT_NE(FormatRunRecord(r).find(BuildFlagsString()), std::string::npos);
+}
+
+TEST(RecordTest, FormattedRecordPassesValidator) {
+  const std::string line = FormatRunRecord(SampleRecord());
+  const obs::ValidationResult v = obs::ValidateRunRecords(line + "\n");
+  EXPECT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.num_events, 1u);
+}
+
+TEST(RecordTest, ValidatorRejectsBrokenLines) {
+  EXPECT_FALSE(obs::ValidateRunRecords("not json\n").ok);
+  EXPECT_FALSE(obs::ValidateRunRecords("{\"schema\":1}\n").ok);
+  // One bad line poisons the stream even when the rest is fine.
+  const std::string good = FormatRunRecord(SampleRecord());
+  EXPECT_FALSE(obs::ValidateRunRecords(good + "\n{}\n").ok);
+  // Blank lines are tolerated (append-friendly files).
+  const obs::ValidationResult v =
+      obs::ValidateRunRecords(good + "\n\n" + good + "\n");
+  EXPECT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.num_events, 2u);
+}
+
+TEST(RecordTest, WriterAppendsAndSamplesRoundTrip) {
+  const std::string path = TempPath("rpmis_record_test.jsonl");
+  fs::remove(path);
+  {
+    RunRecordWriter writer(path);
+    writer.Write(SampleRecord());
+    RunRecord other = MakeRunRecord("record_test", "arw", "toy", 43);
+    obs::ProgressSample s;
+    s.seconds = 1.5;
+    s.events = 999;
+    s.solution_size = 21;
+    s.label = "arw";
+    other.samples = {s};
+    writer.Write(other);
+    EXPECT_TRUE(writer.ok());
+  }
+  const obs::ValidationResult v = obs::ValidateRunRecords(ReadAll(path));
+  EXPECT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.num_events, 2u);
+
+  // All samples in file order.
+  const auto all = ReadProgressSamples(path);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].label, "nearlinear.core");
+  EXPECT_EQ(all[0].solution_size, 5u);
+  EXPECT_EQ(all[0].live_vertices, 50u);
+  // Fields that were absent on write must read back as absent, not 0.
+  EXPECT_EQ(all[1].live_vertices, obs::kProgressFieldAbsent);
+  EXPECT_EQ(all[1].upper_bound, obs::kProgressFieldAbsent);
+  EXPECT_EQ(all[1].solution_size, 9u);
+
+  // Filtered by algorithm: only the second record's samples.
+  const auto arw = ReadProgressSamples(path, "arw");
+  ASSERT_EQ(arw.size(), 1u);
+  EXPECT_EQ(arw[0].solution_size, 21u);
+  EXPECT_DOUBLE_EQ(arw[0].seconds, 1.5);
+
+  fs::remove(path);
+}
+
+TEST(RecordTest, WriterReportsFailuresStickily) {
+  RunRecordWriter writer("/nonexistent-dir/rpmis_record_test.jsonl");
+  writer.Write(SampleRecord());
+  EXPECT_FALSE(writer.ok());
+  writer.Write(SampleRecord());
+  EXPECT_FALSE(writer.ok());
+}
+
+TEST(RecordTest, ReadProgressSamplesOnMissingFileIsEmpty) {
+  EXPECT_TRUE(ReadProgressSamples(TempPath("rpmis_no_such_file.jsonl")).empty());
+}
+
+}  // namespace
+}  // namespace rpmis

@@ -1,0 +1,50 @@
+// Tiny validator CLI for the observability output formats, so
+// scripts/check_obs.sh needs no Python or jq:
+//
+//   obs_validate trace FILE     validate a Chrome trace-event JSON file
+//   obs_validate records FILE   validate a JSONL run-record stream
+//
+// Prints one line per file and exits nonzero on the first failure.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "obs/validate.h"
+#include "support/mmap_file.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s {trace|records} FILE...\n", argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage(argv[0]);
+  const bool is_trace = std::strcmp(argv[1], "trace") == 0;
+  if (!is_trace && std::strcmp(argv[1], "records") != 0) return Usage(argv[0]);
+
+  for (int i = 2; i < argc; ++i) {
+    rpmis::MmapFile file;
+    try {
+      file = rpmis::MmapFile::Open(argv[i]);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "obs_validate: %s: %s\n", argv[i], e.what());
+      return 1;
+    }
+    const rpmis::obs::ValidationResult r =
+        is_trace ? rpmis::obs::ValidateTraceJson(file.view())
+                 : rpmis::obs::ValidateRunRecords(file.view());
+    if (!r.ok) {
+      std::fprintf(stderr, "obs_validate: %s: FAIL: %s\n", argv[i],
+                   r.error.c_str());
+      return 1;
+    }
+    std::printf("obs_validate: %s: OK (%zu %s)\n", argv[i], r.num_events,
+                is_trace ? "events" : "records");
+  }
+  return 0;
+}

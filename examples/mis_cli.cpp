@@ -7,6 +7,7 @@
 //                   arw-lt|arw-nl|exact]
 //           [--time=SECONDS] [--cover] [--out=solution.txt] [--per-component]
 //           [--stats] [--no-compaction] [--compaction-threshold=F]
+//           [--verify] [--updates=FILE]
 //           [--trace=FILE] [--metrics=FILE] [--progress[=K]] [--records=FILE]
 //
 // The solution file lists one selected vertex id per line (original file
@@ -22,6 +23,8 @@
 #include "baselines/semi_external.h"
 #include "benchkit/obs_session.h"
 #include "benchkit/stats.h"
+#include "dynamic/engine.h"
+#include "dynamic/update.h"
 #include "exact/vc_solver.h"
 #include "graph/io.h"
 #include "localsearch/boosted.h"
@@ -69,6 +72,12 @@ int Usage() {
          "                (mid-run alive-subgraph rebuilds; F in (0,1], rebuild\n"
          "                when active < F * last build, default 0.5; the\n"
          "                solution is identical either way)\n"
+         "               [--verify]          (re-check the output set is\n"
+         "                independent and maximal, with a reason on failure)\n"
+         "               [--updates=FILE]    (dynamic mode: solve with\n"
+         "                lineartime, then maintain the set through the update\n"
+         "                stream in FILE — `ae U V`, `de U V`, `av [N..]`,\n"
+         "                `dv U`, '#' comments; ignores --algo)\n"
          "               [--trace=FILE]      (Chrome trace-event JSON of solver\n"
          "                phases; load in Perfetto or chrome://tracing)\n"
          "               [--metrics=FILE]    (counter/gauge snapshot as JSONL)\n"
@@ -77,6 +86,91 @@ int Usage() {
          "               [--records=FILE]    (self-describing JSONL run record;\n"
          "                \"-\" streams to stdout)\n";
   return 2;
+}
+
+// Writes the selected vertex ids (one per line) to --out or stdout.
+int EmitSolution(const std::string& out_path, const std::vector<uint8_t>& in_set) {
+  std::ostream* out = &std::cout;
+  std::ofstream file;
+  if (!out_path.empty()) {
+    file.open(out_path);
+    if (!file) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    out = &file;
+  }
+  for (Vertex v = 0; v < in_set.size(); ++v) {
+    if (in_set[v]) *out << v << "\n";
+  }
+  return 0;
+}
+
+// --updates mode: LinearTime-solve the loaded graph, maintain the set
+// through the stream, verify against the final alive-induced graph, and
+// emit the final set over the engine's (grown) universe.
+int RunDynamicMode(ObsSession& obs, const Graph& g, const std::string& path,
+                   const std::string& updates_path, const std::string& out_path,
+                   bool want_stats, bool want_verify) {
+  std::vector<GraphUpdate> updates;
+  try {
+    updates = LoadUpdateStream(updates_path);
+  } catch (const std::exception& e) {
+    std::cerr << "update stream error: " << e.what() << "\n";
+    return 1;
+  }
+
+  ObsSession::Run run = obs.Start("dynamic", path, /*seed=*/0);
+  Timer timer;
+  DynamicMisEngine engine(g);
+  const double solve_seconds = timer.Seconds();
+  timer.Restart();
+  try {
+    engine.ApplyUpdates(updates);
+  } catch (const std::exception& e) {
+    std::cerr << "update stream error: " << e.what() << "\n";
+    return 1;
+  }
+  const double apply_seconds = timer.Seconds();
+
+  // The maintained set must be a valid MIS of the alive-induced current
+  // graph (dead ids are isolated in the full-universe snapshot and would
+  // confuse the maximality check).
+  std::vector<Vertex> alive;
+  for (Vertex v = 0; v < engine.NumVertices(); ++v) {
+    if (engine.Exists(v)) alive.push_back(v);
+  }
+  const Graph sub = engine.CurrentGraph().InducedSubgraph(alive);
+  std::vector<uint8_t> selector(sub.NumVertices(), 0);
+  for (size_t i = 0; i < alive.size(); ++i) {
+    selector[i] = engine.InSet(alive[i]) ? 1 : 0;
+  }
+  std::string why;
+  if (!VerifyMis(sub, selector, &why)) {
+    std::cerr << "internal error: maintained set invalid: " << why << "\n";
+    return 1;
+  }
+  if (want_verify) {
+    std::cerr << "verified: independent and maximal on the final graph ("
+              << alive.size() << " alive vertices)\n";
+  }
+
+  std::cerr << "dynamic independent set: " << engine.Size() << " vertices (<= "
+            << engine.UpperBound() << ") after " << updates.size()
+            << " updates; solve " << solve_seconds << "s, apply "
+            << apply_seconds << "s\n";
+  if (want_stats) std::cerr << FormatDynamicStats(engine.stats());
+
+  engine.PublishMetrics(run.metrics());
+  run.NoteSeconds(solve_seconds + apply_seconds);
+  run.record().AddNumber("graph.vertices", static_cast<double>(g.NumVertices()));
+  run.record().AddNumber("graph.edges", static_cast<double>(g.NumEdges()));
+  run.record().AddNumber("updates.count", static_cast<double>(updates.size()));
+  run.record().AddNumber("updates.apply_seconds", apply_seconds);
+  run.record().AddNumber("solution.final_size",
+                         static_cast<double>(engine.Size()));
+  run.Commit();
+  return EmitSolution(out_path, engine.Selector());
 }
 
 }  // namespace
@@ -129,6 +223,17 @@ int main(int argc, char** argv) {
   }
   std::cerr << "loaded: n = " << g.NumVertices() << ", m = " << g.NumEdges()
             << "\n";
+
+  const std::string updates_path = OptionValue(argc, argv, "--updates", "");
+  const bool want_verify = HasOption(argc, argv, "--verify");
+  if (!updates_path.empty()) {
+    if (want_cover) {
+      std::cerr << "--updates does not combine with --cover\n";
+      return 2;
+    }
+    return RunDynamicMode(obs, g, path, updates_path, out_path, want_stats,
+                          want_verify);
+  }
 
   ObsSession::Run run = obs.Start(algo, path, /*seed=*/0);
   Timer timer;
@@ -184,9 +289,14 @@ int main(int argc, char** argv) {
   }
   const double seconds = timer.Seconds();
 
-  if (!IsMaximalIndependentSet(g, in_set)) {
-    std::cerr << "internal error: invalid solution\n";
+  std::string why;
+  if (!VerifyMis(g, in_set, &why)) {
+    std::cerr << "internal error: invalid solution: " << why << "\n";
     return 1;
+  }
+  if (want_verify) {
+    std::cerr << "verified: independent and maximal (" << g.NumVertices()
+              << " vertices)\n";
   }
   uint64_t size = 0;
   for (uint8_t f : in_set) size += f;
@@ -212,18 +322,5 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::ostream* out = &std::cout;
-  std::ofstream file;
-  if (!out_path.empty()) {
-    file.open(out_path);
-    if (!file) {
-      std::cerr << "cannot write " << out_path << "\n";
-      return 1;
-    }
-    out = &file;
-  }
-  for (Vertex v = 0; v < g.NumVertices(); ++v) {
-    if (in_set[v]) *out << v << "\n";
-  }
-  return 0;
+  return EmitSolution(out_path, in_set);
 }

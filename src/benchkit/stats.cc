@@ -82,4 +82,29 @@ void PublishSolutionMetrics(const MisSolution& sol,
   metrics->Add("compaction.slots_kept", c.slots_kept);
 }
 
+std::string FormatDynamicStats(const DynamicStats& stats) {
+  std::ostringstream out;
+  const uint64_t updates = stats.insert_edges + stats.delete_edges +
+                           stats.insert_vertices + stats.delete_vertices;
+  out << "updates: " << FormatCount(updates) << " ("
+      << FormatCount(stats.insert_edges) << " ae, "
+      << FormatCount(stats.delete_edges) << " de, "
+      << FormatCount(stats.insert_vertices) << " av, "
+      << FormatCount(stats.delete_vertices) << " dv; "
+      << FormatCount(stats.noops) << " no-ops)\n";
+  const obs::LatencyHistogram& h = stats.latency;
+  out << "latency: mean " << h.MeanSeconds() * 1e6 << "us, p50 "
+      << h.QuantileSeconds(0.5) * 1e6 << "us, p99 "
+      << h.QuantileSeconds(0.99) * 1e6 << "us\n";
+  out << "cones: " << FormatCount(stats.cone_vertices)
+      << " freed vertices total, max " << FormatCount(stats.max_cone)
+      << "; includes " << FormatCount(stats.included_by_reduction)
+      << " by reduction + " << FormatCount(stats.included_greedy)
+      << " greedy; " << FormatCount(stats.evictions) << " evictions\n";
+  out << "fallbacks: " << FormatCount(stats.component_fallbacks)
+      << " component re-solves, " << FormatCount(stats.full_resolves)
+      << " full re-solves\n";
+  return out.str();
+}
+
 }  // namespace rpmis

@@ -4,6 +4,7 @@
 
 #include <string>
 
+#include "dynamic/engine.h"
 #include "mis/solution.h"
 #include "obs/metrics.h"
 
@@ -24,6 +25,11 @@ std::string FormatSolverStats(const MisSolution& sol);
 /// per-solution scalars are gauges (last run wins).
 void PublishSolutionMetrics(const MisSolution& sol,
                             obs::MetricsRegistry* metrics);
+
+/// Multi-line report of a dynamic-update run: update mix, per-update
+/// latency (mean/p50/p99 from the engine's histogram), cone sizes, and
+/// how often each fallback tier fired.
+std::string FormatDynamicStats(const DynamicStats& stats);
 
 }  // namespace rpmis
 

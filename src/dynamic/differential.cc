@@ -1,0 +1,174 @@
+#include "dynamic/differential.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "mis/linear_time.h"
+#include "mis/verify.h"
+
+namespace rpmis {
+
+namespace {
+
+// Independent model of the evolving graph, mirroring the engine's update
+// semantics (insertions revive dead endpoints; av assigns the next id).
+class MirrorGraph {
+ public:
+  explicit MirrorGraph(const Graph& g)
+      : adj_(g.NumVertices()), alive_(g.NumVertices(), 1) {
+    for (Vertex v = 0; v < g.NumVertices(); ++v) {
+      for (Vertex w : g.Neighbors(v)) adj_[v].insert(w);
+    }
+  }
+
+  void Apply(const GraphUpdate& update) {
+    switch (update.kind) {
+      case UpdateKind::kInsertEdge:
+        alive_[update.u] = alive_[update.v] = 1;
+        adj_[update.u].insert(update.v);
+        adj_[update.v].insert(update.u);
+        break;
+      case UpdateKind::kDeleteEdge:
+        if (alive_[update.u] && alive_[update.v]) {
+          adj_[update.u].erase(update.v);
+          adj_[update.v].erase(update.u);
+        }
+        break;
+      case UpdateKind::kInsertVertex: {
+        const Vertex id = static_cast<Vertex>(adj_.size());
+        adj_.emplace_back();
+        alive_.push_back(1);
+        for (Vertex w : update.neighbors) {
+          alive_[w] = 1;
+          adj_[id].insert(w);
+          adj_[w].insert(id);
+        }
+        break;
+      }
+      case UpdateKind::kDeleteVertex:
+        if (alive_[update.u]) {
+          alive_[update.u] = 0;
+          for (Vertex w : adj_[update.u]) adj_[w].erase(update.u);
+          adj_[update.u].clear();
+        }
+        break;
+    }
+  }
+
+  Vertex NumVertices() const { return static_cast<Vertex>(adj_.size()); }
+  bool IsAlive(Vertex v) const { return alive_[v] != 0; }
+
+  std::vector<Vertex> AliveVertices() const {
+    std::vector<Vertex> out;
+    for (Vertex v = 0; v < NumVertices(); ++v) {
+      if (alive_[v]) out.push_back(v);
+    }
+    return out;
+  }
+
+  std::vector<Edge> CollectEdges() const {
+    std::vector<Edge> out;
+    for (Vertex v = 0; v < NumVertices(); ++v) {
+      for (Vertex w : adj_[v]) {
+        if (v < w) out.emplace_back(v, w);
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  std::vector<std::unordered_set<Vertex>> adj_;
+  std::vector<uint8_t> alive_;
+};
+
+}  // namespace
+
+std::string DifferentialReport::Summary() const {
+  std::ostringstream out;
+  out << (ok() ? "OK" : "FAIL") << ": " << updates_applied << " updates, "
+      << steps_checked << " checked, worst ratio " << worst_ratio;
+  if (invariant_failures != 0) out << ", " << invariant_failures << " invariant";
+  if (graph_mismatches != 0) out << ", " << graph_mismatches << " graph";
+  if (validity_failures != 0) out << ", " << validity_failures << " validity";
+  if (ratio_failures != 0) out << ", " << ratio_failures << " ratio";
+  if (!first_failure.empty()) out << " | first: " << first_failure;
+  return out.str();
+}
+
+DifferentialReport RunDifferentialStream(const Graph& g0,
+                                         std::span<const GraphUpdate> updates,
+                                         const DifferentialOptions& options) {
+  DynamicMisEngine engine(g0, options.policy);
+  MirrorGraph mirror(g0);
+  DifferentialReport report;
+
+  const auto note = [&](uint64_t& counter, const std::string& what) {
+    ++counter;
+    if (report.first_failure.empty()) {
+      report.first_failure =
+          "after update " + std::to_string(report.updates_applied) + ": " + what;
+    }
+  };
+
+  const auto check = [&]() {
+    ++report.steps_checked;
+
+    std::string why;
+    if (!engine.CheckInvariants(&why)) {
+      note(report.invariant_failures, "invariants: " + why);
+    }
+    if (options.check_graph) {
+      if (engine.CurrentGraph().CollectEdges() != mirror.CollectEdges()) {
+        note(report.graph_mismatches, "engine/mirror edge sets differ");
+      }
+    }
+
+    // Validity and quality on the mirror's alive-induced subgraph (dead
+    // ids would otherwise look addable to the maximality check).
+    const std::vector<Vertex> alive = mirror.AliveVertices();
+    const Graph full =
+        Graph::FromEdges(mirror.NumVertices(), mirror.CollectEdges());
+    const Graph sub = full.InducedSubgraph(alive);
+    std::vector<uint8_t> selector(sub.NumVertices(), 0);
+    for (size_t i = 0; i < alive.size(); ++i) {
+      selector[i] = engine.InSet(alive[i]) ? 1 : 0;
+    }
+    if (!VerifyMis(sub, selector, &why)) {
+      note(report.validity_failures, why);
+    }
+
+    const MisSolution scratch = RunLinearTime(sub);
+    const double ratio =
+        scratch.size == 0
+            ? 1.0
+            : static_cast<double>(engine.Size()) / static_cast<double>(scratch.size);
+    report.worst_ratio = std::min(report.worst_ratio, ratio);
+    const uint64_t gap =
+        scratch.size > engine.Size() ? scratch.size - engine.Size() : 0;
+    if (ratio < options.min_ratio && gap > options.abs_slack) {
+      note(report.ratio_failures,
+           "size " + std::to_string(engine.Size()) + " vs scratch " +
+               std::to_string(scratch.size) + " (ratio " +
+               std::to_string(ratio) + ")");
+    }
+    if (engine.UpperBound() < scratch.size) {
+      note(report.invariant_failures,
+           "maintained upper bound " + std::to_string(engine.UpperBound()) +
+               " below scratch size " + std::to_string(scratch.size));
+    }
+  };
+
+  const uint32_t every = std::max<uint32_t>(1, options.check_every);
+  for (size_t i = 0; i < updates.size(); ++i) {
+    engine.Apply(updates[i]);
+    mirror.Apply(updates[i]);
+    ++report.updates_applied;
+    if ((i + 1) % every == 0 || i + 1 == updates.size()) check();
+  }
+  if (updates.empty()) check();
+  return report;
+}
+
+}  // namespace rpmis

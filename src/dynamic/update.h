@@ -1,0 +1,93 @@
+// The update vocabulary of the dynamic-maintenance subsystem, plus the
+// text stream format and a valid-by-construction random stream generator.
+//
+// A stream is a sequence of graph mutations applied in order:
+//
+//   ae U V        insert the undirected edge (U, V)
+//   de U V        delete the edge (U, V)
+//   av [N1 N2..]  insert a new vertex adjacent to the listed existing
+//                 vertices; it receives the next unused id (the engine's
+//                 NumVertices() at application time)
+//   dv U          delete vertex U and all incident edges
+//
+// Lines starting with '#' (and blank lines) are comments. Vertex ids are
+// decimal; `av` assigns ids implicitly so a stream composes with any
+// starting graph of known size. mis_cli --updates=FILE consumes this
+// format; WriteUpdateStream emits it.
+#ifndef RPMIS_DYNAMIC_UPDATE_H_
+#define RPMIS_DYNAMIC_UPDATE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rpmis {
+
+enum class UpdateKind : uint8_t {
+  kInsertEdge,
+  kDeleteEdge,
+  kInsertVertex,
+  kDeleteVertex,
+};
+
+struct GraphUpdate {
+  UpdateKind kind = UpdateKind::kInsertEdge;
+  Vertex u = kInvalidVertex;           // first endpoint / deleted vertex
+  Vertex v = kInvalidVertex;           // second endpoint (edge updates)
+  std::vector<Vertex> neighbors;       // kInsertVertex only
+
+  static GraphUpdate InsertEdge(Vertex a, Vertex b) {
+    return {UpdateKind::kInsertEdge, a, b, {}};
+  }
+  static GraphUpdate DeleteEdge(Vertex a, Vertex b) {
+    return {UpdateKind::kDeleteEdge, a, b, {}};
+  }
+  static GraphUpdate InsertVertex(std::vector<Vertex> nbs) {
+    return {UpdateKind::kInsertVertex, kInvalidVertex, kInvalidVertex,
+            std::move(nbs)};
+  }
+  static GraphUpdate DeleteVertex(Vertex a) {
+    return {UpdateKind::kDeleteVertex, a, kInvalidVertex, {}};
+  }
+};
+
+/// Parses an update stream; throws std::runtime_error (with a line
+/// number) on malformed input. Ids are validated at application time, not
+/// here — a stream is not tied to one graph.
+std::vector<GraphUpdate> ParseUpdateStream(std::istream& in);
+
+/// ParseUpdateStream over a file; throws std::runtime_error if the file
+/// cannot be read.
+std::vector<GraphUpdate> LoadUpdateStream(const std::string& path);
+
+/// One update in the stream syntax (no trailing newline).
+std::string FormatUpdate(const GraphUpdate& update);
+
+void WriteUpdateStream(std::ostream& out,
+                       const std::vector<GraphUpdate>& updates);
+
+/// Knobs for RandomUpdateStream. Weights are relative; an operation whose
+/// precondition cannot be met (no deletable edge left, say) falls through
+/// to another kind, so the realized mix can differ on tiny graphs.
+struct StreamOptions {
+  double insert_edge_weight = 1.0;
+  double delete_edge_weight = 1.0;
+  double insert_vertex_weight = 0.3;
+  double delete_vertex_weight = 0.3;
+  uint32_t max_new_vertex_degree = 5;
+};
+
+/// Generates `count` random updates that are valid-by-construction when
+/// applied in order to `g`: inserted edges are absent at insertion time,
+/// deleted edges/vertices exist, and new-vertex neighbours are alive.
+/// Deterministic in `seed`.
+std::vector<GraphUpdate> RandomUpdateStream(const Graph& g, size_t count,
+                                            uint64_t seed,
+                                            const StreamOptions& options = {});
+
+}  // namespace rpmis
+
+#endif  // RPMIS_DYNAMIC_UPDATE_H_

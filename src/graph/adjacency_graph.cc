@@ -1,5 +1,7 @@
 #include "graph/adjacency_graph.h"
 
+#include <utility>
+
 namespace rpmis {
 
 AdjacencyGraph::AdjacencyGraph(const Graph& g)
@@ -69,6 +71,8 @@ void AdjacencyGraph::RemoveVertex(Vertex v, std::vector<Vertex>* touched) {
     Unlink(w, half_[h].twin);
     --degree_[w];
     --alive_edges_;
+    free_halves_.push_back(h);
+    free_halves_.push_back(half_[h].twin);
     if (touched != nullptr) touched->push_back(w);
   }
   head_[v] = kNilHalf;
@@ -93,11 +97,15 @@ void AdjacencyGraph::ContractInto(Vertex v, Vertex w, std::vector<Vertex>* touch
       Unlink(w, half_[h].twin);
       --degree_[w];
       --alive_edges_;
+      free_halves_.push_back(h);
+      free_halves_.push_back(half_[h].twin);
     } else if (scratch_.Contains(x)) {
       // (w, x) already exists: the moved edge would be parallel; drop it.
       Unlink(x, half_[h].twin);
       --degree_[x];
       --alive_edges_;
+      free_halves_.push_back(h);
+      free_halves_.push_back(half_[h].twin);
       if (touched != nullptr) touched->push_back(x);
     } else {
       // Re-point (x, v) to (x, w) and thread (v, x)'s half into w's list.
@@ -154,7 +162,71 @@ void AdjacencyGraph::Compact(Vertex new_n, std::span<const Vertex> to_new) {
   degree_ = std::move(new_degree);
   alive_.assign(new_n, 1);
   alive_count_ = new_n;
+  free_halves_.clear();  // the rebuilt pool holds exactly the alive halves
   scratch_.Resize(new_n);
+}
+
+uint32_t AdjacencyGraph::AllocHalf() {
+  if (!free_halves_.empty()) {
+    const uint32_t h = free_halves_.back();
+    free_halves_.pop_back();
+    return h;
+  }
+  half_.push_back({});
+  return static_cast<uint32_t>(half_.size() - 1);
+}
+
+bool AdjacencyGraph::InsertEdge(Vertex u, Vertex v) {
+  RPMIS_ASSERT(u < NumVertices() && v < NumVertices() && u != v);
+  ReviveVertex(u);
+  ReviveVertex(v);
+  if (HasEdge(u, v)) return false;
+  const uint32_t hu = AllocHalf();
+  const uint32_t hv = AllocHalf();
+  half_[hu] = {v, hv, kNilHalf, kNilHalf};
+  half_[hv] = {u, hu, kNilHalf, kNilHalf};
+  PushFront(u, hu);
+  PushFront(v, hv);
+  ++degree_[u];
+  ++degree_[v];
+  ++alive_edges_;
+  return true;
+}
+
+bool AdjacencyGraph::RemoveEdge(Vertex u, Vertex v) {
+  RPMIS_ASSERT(u < NumVertices() && v < NumVertices() && u != v);
+  if (!IsAlive(u) || !IsAlive(v)) return false;
+  if (degree_[u] > degree_[v]) std::swap(u, v);
+  for (uint32_t h = head_[u]; h != kNilHalf; h = half_[h].next) {
+    if (half_[h].to != v) continue;
+    Unlink(u, h);
+    Unlink(v, half_[h].twin);
+    --degree_[u];
+    --degree_[v];
+    --alive_edges_;
+    free_halves_.push_back(h);
+    free_halves_.push_back(half_[h].twin);
+    return true;
+  }
+  return false;
+}
+
+Vertex AdjacencyGraph::AddVertex() {
+  const Vertex v = NumVertices();
+  head_.push_back(kNilHalf);
+  degree_.push_back(0);
+  alive_.push_back(1);
+  ++alive_count_;
+  scratch_.EnsureUniverse(head_.size());
+  return v;
+}
+
+void AdjacencyGraph::ReviveVertex(Vertex v) {
+  RPMIS_ASSERT(v < NumVertices());
+  if (IsAlive(v)) return;
+  RPMIS_DASSERT(head_[v] == kNilHalf && degree_[v] == 0);
+  alive_[v] = 1;
+  ++alive_count_;
 }
 
 std::vector<Edge> AdjacencyGraph::CollectAliveEdges() const {

@@ -22,6 +22,7 @@
 
 #include "graph/graph.h"
 #include "mis/per_component.h"
+#include "mis/reduction_trace.h"
 #include "mis/solution.h"
 
 namespace rpmis {
@@ -30,6 +31,11 @@ struct LinearTimeOptions {
   /// Mid-run alive-subgraph rebuilds (mis/compaction.h). Output is
   /// byte-identical with compaction disabled or at any threshold.
   CompactionOptions compaction;
+
+  /// When non-null, receives the reduction provenance log (input-graph
+  /// ids, see mis/reduction_trace.h). Recording never influences the
+  /// solve; the solution is byte-identical with or without it.
+  ReductionTrace* trace = nullptr;
 };
 
 /// Computes a maximal independent set of g with LinearTime. If `capture`

@@ -1,0 +1,29 @@
+#include "mis/reduction_trace.h"
+
+namespace rpmis {
+
+size_t ReductionTrace::CountRule(ReductionRule rule) const {
+  size_t count = 0;
+  for (const ReductionEvent& e : events_) {
+    if (e.rule == rule) ++count;
+  }
+  return count;
+}
+
+std::vector<uint8_t> ReductionTrace::PeeledMask(Vertex n) const {
+  std::vector<uint8_t> mask(n, 0);
+  for (const ReductionEvent& e : events_) {
+    if (e.rule == ReductionRule::kPeel && e.v < n) mask[e.v] = 1;
+  }
+  return mask;
+}
+
+std::vector<uint8_t> ReductionTrace::DeferredMask(Vertex n) const {
+  std::vector<uint8_t> mask(n, 0);
+  for (const ReductionEvent& e : events_) {
+    if (e.rule == ReductionRule::kPathDefer && e.v < n) mask[e.v] = 1;
+  }
+  return mask;
+}
+
+}  // namespace rpmis

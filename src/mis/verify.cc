@@ -1,6 +1,50 @@
 #include "mis/verify.h"
 
+#include <string>
+
 namespace rpmis {
+
+bool VerifyMis(const Graph& g, const std::vector<uint8_t>& in_set,
+               std::string* why) {
+  if (in_set.size() != g.NumVertices()) {
+    if (why != nullptr) {
+      *why = "selector has " + std::to_string(in_set.size()) +
+             " entries for a graph with " + std::to_string(g.NumVertices()) +
+             " vertices";
+    }
+    return false;
+  }
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    if (!in_set[v]) continue;
+    for (Vertex w : g.Neighbors(v)) {
+      if (in_set[w]) {
+        if (why != nullptr) {
+          *why = "not independent: edge (" + std::to_string(v) + ", " +
+                 std::to_string(w) + ") has both endpoints selected";
+        }
+        return false;
+      }
+    }
+  }
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    if (in_set[v]) continue;
+    bool blocked = false;
+    for (Vertex w : g.Neighbors(v)) {
+      if (in_set[w]) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) {
+      if (why != nullptr) {
+        *why = "not maximal: vertex " + std::to_string(v) +
+               " has no selected neighbour and could be added";
+      }
+      return false;
+    }
+  }
+  return true;
+}
 
 bool IsIndependentSet(const Graph& g, const std::vector<uint8_t>& in_set) {
   if (in_set.size() != g.NumVertices()) return false;

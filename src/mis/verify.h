@@ -7,6 +7,7 @@
 #define RPMIS_MIS_VERIFY_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "graph/graph.h"
@@ -15,6 +16,14 @@ namespace rpmis {
 
 /// True iff no edge of g has both endpoints selected.
 bool IsIndependentSet(const Graph& g, const std::vector<uint8_t>& in_set);
+
+/// Checks independence and maximality in one pass and, on failure, writes
+/// a human-readable description of the first violation (selector length
+/// mismatch, a violated edge, or an addable vertex) into `why` when
+/// non-null. This is the library form of the checks mis_cli --verify and
+/// the differential harness report through.
+bool VerifyMis(const Graph& g, const std::vector<uint8_t>& in_set,
+               std::string* why = nullptr);
 
 /// True iff `in_set` is independent and no vertex can be added.
 bool IsMaximalIndependentSet(const Graph& g, const std::vector<uint8_t>& in_set);

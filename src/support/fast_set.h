@@ -26,6 +26,12 @@ class FastSet {
     current_ = 1;
   }
 
+  /// Grows the universe to at least n, keeping current membership. O(1)
+  /// amortized per added slot (unlike Resize, which clears).
+  void EnsureUniverse(size_t n) {
+    if (n > stamp_.size()) stamp_.resize(n, 0);
+  }
+
   size_t Universe() const { return stamp_.size(); }
 
   void Clear() {

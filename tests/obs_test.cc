@@ -15,6 +15,7 @@
 #include "mis/linear_time.h"
 #include "mis/near_linear.h"
 #include "mis/per_component.h"
+#include "obs/histogram.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/progress.h"
@@ -307,6 +308,47 @@ TEST(ObsTest, ProgressSamplerSeesSolverStream) {
     EXPECT_NE(s.live_vertices, obs::kProgressFieldAbsent);
     EXPECT_FALSE(s.label.empty());
   }
+}
+
+TEST(HistogramTest, RecordsIntoLogBucketsAndPublishes) {
+  obs::LatencyHistogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.MeanSeconds(), 0.0);
+  EXPECT_EQ(h.QuantileSeconds(0.5), 0.0);
+
+  h.Record(0.5e-6);   // <= 1us -> bucket 0
+  h.Record(3e-6);     // -> bucket 2 (le 4us)
+  h.Record(100e-6);   // -> bucket 7 (le 128us)
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(2), 1u);
+  EXPECT_EQ(h.BucketCount(7), 1u);
+  EXPECT_NEAR(h.SumSeconds(), 103.5e-6, 1e-9);
+  EXPECT_NEAR(h.MeanSeconds(), 34.5e-6, 1e-9);
+  // Quantiles come back as bucket upper edges.
+  EXPECT_DOUBLE_EQ(h.QuantileSeconds(0.0), 1e-6);
+  EXPECT_DOUBLE_EQ(h.QuantileSeconds(0.5), 4e-6);
+  EXPECT_DOUBLE_EQ(h.QuantileSeconds(1.0), 128e-6);
+
+  obs::MetricsRegistry metrics;
+  h.PublishTo(metrics, "lat");
+  EXPECT_EQ(metrics.Counter("lat.count"), 3u);
+  EXPECT_EQ(metrics.Counter("lat.sum_us"), 104u);  // rounded
+  EXPECT_EQ(metrics.Counter("lat.le_us.4"), 1u);
+  EXPECT_EQ(metrics.Counter("lat.le_us.128"), 1u);
+  EXPECT_FALSE(metrics.Contains("lat.le_us.2"));  // empty buckets omitted
+
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.SumSeconds(), 0.0);
+}
+
+TEST(HistogramTest, ClampsExtremes) {
+  obs::LatencyHistogram h;
+  h.Record(-1.0);     // negative -> bucket 0
+  h.Record(1e12);     // beyond the last edge -> last bucket
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(obs::LatencyHistogram::kBuckets - 1), 1u);
 }
 
 TEST(ObsTest, ScopedObservabilityNestsAndRestores) {

@@ -1,0 +1,120 @@
+// Provenance-trace tests: recording must never perturb the solve, and
+// the projections (PeeledMask/DeferredMask) must agree with the rule
+// counters the solvers already report. The dynamic engine (src/dynamic)
+// builds its eviction heuristic on these projections.
+#include "mis/reduction_trace.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "mis/kernelizer.h"
+#include "mis/linear_time.h"
+#include "mis/verify.h"
+#include "test_util.h"
+
+namespace rpmis {
+namespace {
+
+TEST(ReductionTraceTest, RecordingDoesNotChangeTheSolution) {
+  const Graph g = ChungLuPowerLaw(3000, 2.5, 6.0, /*seed=*/5);
+  const MisSolution plain = RunLinearTime(g);
+
+  ReductionTrace trace;
+  LinearTimeOptions options;
+  options.trace = &trace;
+  const MisSolution traced = RunLinearTime(g, nullptr, options);
+
+  EXPECT_EQ(plain.size, traced.size);
+  EXPECT_EQ(plain.in_set, traced.in_set);
+  EXPECT_FALSE(trace.Empty());
+}
+
+TEST(ReductionTraceTest, PeeledMaskMatchesPeelCounter) {
+  const Graph g = ErdosRenyiGnp(1000, 8.0 / 1000.0, /*seed=*/3);
+  ReductionTrace trace;
+  LinearTimeOptions options;
+  options.trace = &trace;
+  const MisSolution sol = RunLinearTime(g, nullptr, options);
+  ASSERT_GT(sol.rules.peels, 0u);  // dense enough that peeling fires
+
+  EXPECT_EQ(trace.CountRule(ReductionRule::kPeel), sol.rules.peels);
+  const std::vector<uint8_t> peeled = trace.PeeledMask(g.NumVertices());
+  uint64_t flagged = 0;
+  for (uint8_t f : peeled) flagged += f;
+  EXPECT_EQ(flagged, sol.rules.peels);
+}
+
+TEST(ReductionTraceTest, DeferredMaskCoversPathReplays) {
+  // A bare path falls to degree-one reductions, so anchor a degree-two
+  // path between two K4s: case 3 of Lemma 4.1 defers the in-path
+  // membership decisions (same family as path_reduction_cases_test).
+  GraphBuilder b(8 + 5);
+  for (Vertex i = 0; i < 4; ++i) {
+    for (Vertex j = i + 1; j < 4; ++j) {
+      b.AddEdge(i, j);
+      b.AddEdge(4 + i, 4 + j);
+    }
+  }
+  Vertex prev = 0;
+  for (Vertex i = 0; i < 5; ++i) {
+    b.AddEdge(prev, 8 + i);
+    prev = 8 + i;
+  }
+  b.AddEdge(prev, 4);
+  const Graph g = b.Build();
+
+  ReductionTrace trace;
+  LinearTimeOptions options;
+  options.trace = &trace;
+  const MisSolution sol = RunLinearTime(g, nullptr, options);
+  EXPECT_TRUE(IsMaximalIndependentSet(g, sol.in_set));
+  ASSERT_GT(trace.CountRule(ReductionRule::kPathDefer), 0u);
+
+  const std::vector<uint8_t> deferred = trace.DeferredMask(g.NumVertices());
+  uint64_t flagged = 0;
+  for (uint8_t f : deferred) flagged += f;
+  EXPECT_EQ(flagged, trace.CountRule(ReductionRule::kPathDefer));
+  // Only interior path vertices can carry a deferral flag.
+  for (Vertex v = 0; v < 8; ++v) EXPECT_EQ(deferred[v], 0) << v;
+}
+
+TEST(ReductionTraceTest, KernelizerExportReplaysItsOps) {
+  const Graph g = rpmis::testing::PaperFigure1();
+  Kernelizer kernelizer(g);
+  kernelizer.Run();
+
+  ReductionTrace trace;
+  kernelizer.ExportTrace(&trace);
+  // Figure 1 kernelizes to empty, so every decision is in the log and
+  // includes must match the lifted solution's fixed vertices.
+  EXPECT_FALSE(trace.Empty());
+  for (const ReductionEvent& e : trace.Events()) {
+    EXPECT_LT(e.v, g.NumVertices());
+    switch (e.rule) {
+      case ReductionRule::kInclude:
+      case ReductionRule::kExclude:
+      case ReductionRule::kFold:
+      case ReductionRule::kTwinFoldPair:
+      case ReductionRule::kTwinFoldMembers:
+        break;
+      default:
+        ADD_FAILURE() << "unexpected LinearTime rule in kernelizer export";
+    }
+  }
+}
+
+TEST(ReductionTraceTest, ClearAndReserveBehave) {
+  ReductionTrace trace;
+  trace.Reserve(8);
+  trace.Append(ReductionRule::kPeel, 3);
+  trace.Append(ReductionRule::kPathDefer, 1, 0, 2);
+  EXPECT_EQ(trace.Events().size(), 2u);
+  EXPECT_EQ(trace.Events()[1].a, 0u);
+  EXPECT_EQ(trace.Events()[1].b, 2u);
+  trace.Clear();
+  EXPECT_TRUE(trace.Empty());
+  EXPECT_EQ(trace.CountRule(ReductionRule::kPeel), 0u);
+}
+
+}  // namespace
+}  // namespace rpmis

@@ -78,6 +78,28 @@ TEST(VerifyTest, ReplayDeferredStackAlternates) {
   EXPECT_EQ(is[4], 1);
 }
 
+TEST(VerifyTest, VerifyMisReportsTheFirstViolation) {
+  Graph g = testing::PaperFigure2();
+  std::string why;
+
+  std::vector<uint8_t> good{1, 0, 1, 1, 0, 0};
+  EXPECT_TRUE(VerifyMis(g, good, &why));
+  EXPECT_TRUE(why.empty());
+  EXPECT_TRUE(VerifyMis(g, good));  // why is optional
+
+  std::vector<uint8_t> wrong_size(5, 0);
+  EXPECT_FALSE(VerifyMis(g, wrong_size, &why));
+  EXPECT_NE(why.find("5 entries"), std::string::npos) << why;
+
+  std::vector<uint8_t> dependent{1, 1, 0, 0, 0, 0};  // edge (0, 1)
+  EXPECT_FALSE(VerifyMis(g, dependent, &why));
+  EXPECT_NE(why.find("not independent"), std::string::npos) << why;
+
+  std::vector<uint8_t> not_maximal(6, 0);
+  EXPECT_FALSE(VerifyMis(g, not_maximal, &why));
+  EXPECT_NE(why.find("not maximal"), std::string::npos) << why;
+}
+
 TEST(VerifyTest, ReplayDeferredStackHonorsVirtualPartners) {
   // Partners that are NOT original-graph edges (rewired/virtual) must
   // still block: v=1 with virtual partner 3 already in I stays out.
